@@ -1,0 +1,325 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Run them all with
+//
+//	go test -bench=. -benchtime=1x
+//
+// Training-based figures (fig4-7, table1) run at "quick" scale by
+// default; set SPLITCNN_SCALE=standard or =full for the higher-fidelity
+// (slower) versions recorded in EXPERIMENTS.md.
+package splitcnn_test
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/experiments"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/sim"
+	"splitcnn/internal/tensor"
+)
+
+func benchOpts(b *testing.B) experiments.Options {
+	b.Helper()
+	scale, err := experiments.ParseScale(os.Getenv("SPLITCNN_SCALE"))
+	if err != nil {
+		scale = experiments.Quick
+	}
+	if os.Getenv("SPLITCNN_SCALE") == "" {
+		scale = experiments.Quick
+	}
+	out := io.Writer(io.Discard)
+	if testing.Verbose() {
+		out = os.Stdout
+	}
+	return experiments.Options{Scale: scale, Device: costmodel.P100(), Out: out}
+}
+
+// --- Paper figures and tables ---
+
+// BenchmarkFig1Profile regenerates Figure 1 (generated vs offload-able
+// data per layer for VGG-19 and ResNet-18).
+func BenchmarkFig1Profile(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig1(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(series[0].Limit*100, "vgg-offloadable-%")
+		b.ReportMetric(series[1].Limit*100, "resnet18-offloadable-%")
+	}
+}
+
+// BenchmarkFig4SplitDepth regenerates Figure 4 (test error vs splitting
+// depth). Real CPU training — prefer -benchtime=1x.
+func BenchmarkFig4SplitDepth(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].TestErr*100, "vgg-baseline-err-%")
+		b.ReportMetric(rows[4].TestErr*100, "vgg-depth50-err-%")
+	}
+}
+
+// BenchmarkFig5NumSplits regenerates Figure 5 (test error vs number of
+// splits at depth 25%).
+func BenchmarkFig5NumSplits(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].TestErr*100, "vgg-1split-err-%")
+		b.ReportMetric(rows[5].TestErr*100, "vgg-9split-err-%")
+	}
+}
+
+// BenchmarkFig6Stochastic regenerates Figure 6 (stochastic splitting vs
+// baseline, evaluated on the unsplit network).
+func BenchmarkFig6Stochastic(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].TestErr*100, "vgg-baseline-err-%")
+		b.ReportMetric(rows[2].TestErr*100, "vgg-sscnn-err-%")
+	}
+}
+
+// BenchmarkTable1Accuracy regenerates Table 1 / Figure 7 (baseline vs
+// SCNN vs SSCNN across four architectures).
+func BenchmarkTable1Accuracy(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "rows")
+	}
+}
+
+// BenchmarkFig8Throughput regenerates Figure 8 (training throughput of
+// the three scheduling methods).
+func BenchmarkFig8Throughput(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Network == "vgg19" && r.Method == sim.MethodHMMS {
+				b.ReportMetric(r.Degradation*100, "vgg-hmms-degr-%")
+			}
+			if r.Network == "vgg19" && r.Method == sim.MethodLayerWise {
+				b.ReportMetric(r.Degradation*100, "vgg-layerwise-degr-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Timelines regenerates Figure 9 (stream timelines).
+func BenchmarkFig9Timelines(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].Stall*1e3, "layerwise-stall-ms")
+		b.ReportMetric(rows[2].Stall*1e3, "hmms-stall-ms")
+	}
+}
+
+// BenchmarkFig10MaxBatch regenerates Figure 10 (maximum batch size with
+// Split-CNN + HMMS vs baseline).
+func BenchmarkFig10MaxBatch(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].BatchRatio, "vgg-batch-ratio")
+		b.ReportMetric(rows[1].BatchRatio, "resnet18-batch-ratio")
+	}
+}
+
+// BenchmarkFig11Distributed regenerates Figure 11 (distributed-training
+// speedup vs bandwidth).
+func BenchmarkFig11Distributed(b *testing.B) {
+	opt := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.BandwidthGbit == 10 {
+				b.ReportMetric(p.Speedup, "speedup-at-10gbit")
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationAllocator compares the first-fit static planner
+// against no-reuse allocation on VGG-19's device general pool.
+func BenchmarkAblationAllocator(b *testing.B) {
+	m := models.VGG19ImageNet(16)
+	prog, err := hmms.BuildProgram(m.Graph, costmodel.P100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+	for i := 0; i < b.N; i++ {
+		ff := hmms.PlanMemory(prog, assign, hmms.PlanNone(), hmms.FirstFit)
+		nr := hmms.PlanMemory(prog, assign, hmms.PlanNone(), hmms.NoReuse)
+		b.ReportMetric(float64(ff.PoolBytes[hmms.PoolDeviceGeneral])/1e9, "firstfit-GB")
+		b.ReportMetric(float64(nr.PoolBytes[hmms.PoolDeviceGeneral])/1e9, "noreuse-GB")
+	}
+}
+
+// BenchmarkAblationStorageOpt measures the §4.2 storage optimizations
+// (in-place ReLU + summation error sharing) on ResNet-18.
+func BenchmarkAblationStorageOpt(b *testing.B) {
+	m := models.ResNet18ImageNet(16)
+	prog, err := hmms.BuildProgram(m.Graph, costmodel.P100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		with := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+		without := hmms.AssignStorage(prog, hmms.StorageOpts{})
+		mw := hmms.PlanMemory(prog, with, hmms.PlanNone(), hmms.FirstFit)
+		mo := hmms.PlanMemory(prog, without, hmms.PlanNone(), hmms.FirstFit)
+		b.ReportMetric(float64(mw.PoolBytes[hmms.PoolDeviceGeneral])/1e9, "optimized-GB")
+		b.ReportMetric(float64(mo.PoolBytes[hmms.PoolDeviceGeneral])/1e9, "unoptimized-GB")
+	}
+}
+
+// BenchmarkAblationSplitOverhead quantifies what splitting costs and
+// buys at the same batch size: simulated step-time overhead of the patch
+// bookkeeping vs. the reduction in planned device memory (§6.3's
+// workspace-reuse and bottleneck-breaking effects).
+func BenchmarkAblationSplitOverhead(b *testing.B) {
+	m := models.VGG19ImageNet(64)
+	base, _, baseMem, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sr, err := core.Split(m.Graph, core.Config{Depth: 0.75, NH: 2, NW: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, _, mem, err := sim.PlanAndRun(sr.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((res.TotalTime/base.TotalTime-1)*100, "step-overhead-%")
+		b.ReportMetric(float64(baseMem.DeviceBytes()-mem.DeviceBytes())/1e9, "memory-saved-GB")
+	}
+}
+
+// BenchmarkAblationPolicy compares the lb/midpoint/ub boundary policies'
+// forward-output divergence from the unsplit network on a 3x3 conv.
+func BenchmarkAblationPolicy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{4, 8, 32, 32})
+	w := g.Param("c.w", tensor.Shape{8, 8, 3, 3})
+	bb := g.Param("c.b", tensor.Shape{8})
+	out := g.Add("c", nn.NewConv(3, 1, 1), x, w, bb)
+	g.SetOutput(out)
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+	xt := tensor.New(4, 8, 32, 32)
+	xt.RandNormal(rng, 1)
+	feeds := graph.Feeds{"image": xt}
+	run := func(gr *graph.Graph) *tensor.Tensor {
+		ex, err := graph.NewExecutor(gr, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs, err := ex.Forward(feeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return outs[0]
+	}
+	ref := run(g)
+	for i := 0; i < b.N; i++ {
+		for _, p := range []core.BoundaryPolicy{core.PolicyLower, core.PolicyMidpoint, core.PolicyUpper} {
+			sr, err := core.Split(g, core.Config{Depth: 1, NH: 2, NW: 2, Policy: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := run(sr.Graph)
+			b.ReportMetric(tensor.MaxAbsDiff(got, ref), p.String()+"-maxdiff")
+		}
+	}
+}
+
+// --- Kernel micro-benchmarks ---
+
+// BenchmarkConv2DForward measures the im2col convolution kernel.
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(8, 64, 32, 32)
+	w := tensor.New(64, 64, 3, 3)
+	bias := tensor.New(64)
+	x.RandNormal(rng, 1)
+	w.RandNormal(rng, 0.1)
+	p := tensor.ConvParams{KH: 3, KW: 3, SH: 1, SW: 1, Pad: tensor.Symmetric(1)}
+	flops := 2 * int64(8*64*32*32) * int64(64*9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2D(x, w, bias, p)
+	}
+	b.ReportMetric(float64(flops*int64(b.N))/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkSplitTransform measures the graph rewriter itself on the
+// full-size ResNet-50 — the cost stochastic splitting pays per
+// minibatch.
+func BenchmarkSplitTransform(b *testing.B) {
+	m := models.ResNet50ImageNet(32)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Split(m.Graph, core.Config{
+			Depth: 0.812, NH: 2, NW: 2, Stochastic: true, Omega: 0.2, Rng: rng,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHMMSPipeline measures the offline planning cost (serialize,
+// assign, plan, lay out) for ResNet-50 — the "no tuning required"
+// overhead the paper contrasts with vDNN's trial-and-error.
+func BenchmarkHMMSPipeline(b *testing.B) {
+	m := models.ResNet50ImageNet(64)
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodHMMS, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

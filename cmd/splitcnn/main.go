@@ -1,0 +1,387 @@
+// Command splitcnn is the command-line entry point of the Split-CNN +
+// HMMS reproduction. Subcommands:
+//
+//	splitcnn experiment <id> [-scale quick|standard|full]
+//	    regenerate a paper table or figure (fig1 fig4 fig5 fig6 fig7
+//	    fig8 fig9 fig10 fig11 table1)
+//	splitcnn profile   -arch vgg19 -batch 64
+//	    print the Figure 1-style layer profile of a model
+//	splitcnn plan      -arch vgg19 -batch 64 -method hmms [-split]
+//	    run the HMMS pipeline and report throughput and memory pools
+//	splitcnn transform -arch vgg19 -depth 0.5 -nh 2 -nw 2
+//	    show what the Split-CNN graph transformation does to a model
+//	splitcnn train     -arch vgg19 -epochs 6 [-depth 0.5 -splits 4
+//	    -stochastic]
+//	    train a scaled-down model on the synthetic CIFAR-like dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"splitcnn/internal/modelfile"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/data"
+	"splitcnn/internal/experiments"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+	"splitcnn/internal/train"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "transform":
+		err = cmdTransform(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "maxbatch":
+		err = cmdMaxBatch(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitcnn:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: splitcnn <subcommand> [flags]
+
+subcommands:
+  experiment <id>   regenerate a paper table/figure (%v)
+  profile           Figure 1-style layer profile of a model
+  plan              run the HMMS pipeline on a model
+  transform         inspect the Split-CNN graph transformation
+  maxbatch          search the largest trainable batch on a device
+  train             train a scaled-down model on synthetic data
+`, experiments.IDs())
+}
+
+func deviceFlag(fs *flag.FlagSet) *string {
+	return fs.String("device", "p100", "device model: p100 or v100")
+}
+
+func pickDevice(name string) (costmodel.DeviceSpec, error) {
+	switch name {
+	case "p100":
+		return costmodel.P100(), nil
+	case "v100":
+		return costmodel.V100(), nil
+	}
+	return costmodel.DeviceSpec{}, fmt.Errorf("unknown device %q", name)
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	scale := fs.String("scale", "standard", "experiment scale: quick, standard or full")
+	dev := deviceFlag(fs)
+	seed := fs.Int64("seed", 0, "seed offset for training experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("experiment: want an experiment id (%v)", experiments.IDs())
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	d, err := pickDevice(*dev)
+	if err != nil {
+		return err
+	}
+	opt := experiments.Options{Scale: sc, Device: d, Out: os.Stdout, Seed: *seed}
+	for _, id := range fs.Args() {
+		if err := experiments.Run(id, opt); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func buildFullSize(arch string, batch int) (*models.Model, error) {
+	return models.Build(arch, models.Config{
+		BatchSize: batch, Classes: 1000, InputC: 3, InputH: 224, InputW: 224,
+	})
+}
+
+// buildModel resolves -model (a model-description file) or -arch (a
+// built-in full-size architecture).
+func buildModel(modelPath, arch string, batch int) (*models.Model, error) {
+	if modelPath == "" {
+		return buildFullSize(arch, batch)
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return modelfile.Parse(f, batch)
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	arch := fs.String("arch", "vgg19", "architecture")
+	batch := fs.Int("batch", 64, "batch size")
+	dev := deviceFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := pickDevice(*dev)
+	if err != nil {
+		return err
+	}
+	m, err := buildFullSize(*arch, *batch)
+	if err != nil {
+		return err
+	}
+	prog, err := hmms.BuildProgram(m.Graph, d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %-10s %10s %12s %12s\n", "layer", "kind", "time(us)", "gen(MB)", "offl(MB)")
+	for _, r := range prog.ProfileForward() {
+		fmt.Printf("%-20s %-10s %10.1f %12.2f %12.2f\n",
+			r.Name, r.Kind, r.Time*1e6, float64(r.GeneratedBytes)/1e6, float64(r.OffloadableBytes)/1e6)
+	}
+	fmt.Printf("\nforward %.1f ms, backward %.1f ms, stashed %.2f GB, offloadable without loss: %.0f%%\n",
+		prog.ForwardTime()*1e3, prog.BackwardTime()*1e3,
+		float64(prog.StashedBytes())/1e9, prog.TheoreticalOffloadLimit()*100)
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	arch := fs.String("arch", "vgg19", "architecture")
+	model := fs.String("model", "", "model description file (overrides -arch)")
+	batch := fs.Int("batch", 64, "batch size")
+	method := fs.String("method", "hmms", "memory plan: none, layerwise or hmms")
+	doSplit := fs.Bool("split", false, "apply the Split-CNN transformation first")
+	depth := fs.Float64("depth", 0.75, "splitting depth (with -split)")
+	nh := fs.Int("nh", 2, "patch rows (with -split)")
+	nw := fs.Int("nw", 2, "patch cols (with -split)")
+	dev := deviceFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := pickDevice(*dev)
+	if err != nil {
+		return err
+	}
+	m, err := buildModel(*model, *arch, *batch)
+	if err != nil {
+		return err
+	}
+	g := m.Graph
+	if *doSplit {
+		sr, err := core.Split(g, core.Config{Depth: *depth, NH: *nh, NW: *nw})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("split %d/%d convolution layers into %dx%d patches\n",
+			sr.SplitConvs, sr.TotalConvs, *nh, *nw)
+		g = sr.Graph
+	}
+	var mm sim.Method
+	switch *method {
+	case "none":
+		mm = sim.MethodNone
+	case "layerwise":
+		mm = sim.MethodLayerWise
+	case "hmms":
+		mm = sim.MethodHMMS
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	res, prog, mem, err := sim.PlanAndRun(g, d, mm, -1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("method:            %s\n", res.Method)
+	fmt.Printf("step time:         %.1f ms (compute %.1f ms, stall %.1f ms)\n",
+		res.TotalTime*1e3, res.ComputeTime*1e3, res.StallTime*1e3)
+	fmt.Printf("throughput:        %.1f images/s\n", res.Throughput(*batch))
+	fmt.Printf("offloaded:         %.2f GB of %.2f GB stashed\n",
+		float64(res.OffloadedBytes)/1e9, float64(prog.StashedBytes())/1e9)
+	fmt.Printf("device pools:      general %.2f GB + parameters %.2f GB = %.2f GB (capacity %.0f GB)\n",
+		float64(mem.PoolBytes[hmms.PoolDeviceGeneral])/1e9,
+		float64(mem.PoolBytes[hmms.PoolDeviceParam])/1e9,
+		float64(mem.DeviceBytes())/1e9, float64(d.MemCapacity)/1e9)
+	fmt.Printf("host pinned pool:  %.2f GB\n", float64(mem.PoolBytes[hmms.PoolHost])/1e9)
+	return nil
+}
+
+func cmdMaxBatch(args []string) error {
+	fs := flag.NewFlagSet("maxbatch", flag.ExitOnError)
+	arch := fs.String("arch", "vgg19", "architecture")
+	doSplit := fs.Bool("split", false, "apply Split-CNN (depth/nh/nw) + HMMS")
+	depth := fs.Float64("depth", 0.75, "splitting depth (with -split)")
+	nh := fs.Int("nh", 2, "patch rows")
+	nw := fs.Int("nw", 2, "patch cols")
+	dev := deviceFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := pickDevice(*dev)
+	if err != nil {
+		return err
+	}
+	eval := func(batch int) (int64, error) {
+		m, err := buildFullSize(*arch, batch)
+		if err != nil {
+			return 0, err
+		}
+		g := m.Graph
+		method := sim.MethodNone
+		if *doSplit {
+			sr, err := core.Split(g, core.Config{Depth: *depth, NH: *nh, NW: *nw})
+			if err != nil {
+				return 0, err
+			}
+			g = sr.Graph
+			method = sim.MethodHMMS
+		}
+		_, _, mem, err := sim.PlanAndRun(g, d, method, -1)
+		if err != nil {
+			return 0, err
+		}
+		return mem.DeviceBytes(), nil
+	}
+	lo, hi := 1, 8192
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if b, err := eval(mid); err == nil && b <= d.MemCapacity {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	bytes, err := eval(lo)
+	if err != nil {
+		return err
+	}
+	mode := "baseline"
+	if *doSplit {
+		mode = fmt.Sprintf("split(%dx%d, depth %.0f%%)+hmms", *nh, *nw, *depth*100)
+	}
+	fmt.Printf("%s %s on %s (%.0f GiB): max batch %d (planned %.2f GiB)\n",
+		*arch, mode, d.Name, float64(d.MemCapacity)/(1<<30), lo, float64(bytes)/(1<<30))
+	return nil
+}
+
+func cmdTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ExitOnError)
+	arch := fs.String("arch", "vgg19", "architecture")
+	batch := fs.Int("batch", 1, "batch size")
+	depth := fs.Float64("depth", 0.5, "splitting depth")
+	nh := fs.Int("nh", 2, "patch rows")
+	nw := fs.Int("nw", 2, "patch cols")
+	stochastic := fs.Bool("stochastic", false, "stochastic boundaries (ω=0.2)")
+	dot := fs.String("dot", "", "write the transformed graph as Graphviz DOT to this file")
+	model := fs.String("model", "", "model description file (overrides -arch)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := buildModel(*model, *arch, *batch)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Depth: *depth, NH: *nh, NW: *nw}
+	if *stochastic {
+		cfg.Stochastic, cfg.Omega, cfg.Rng = true, 0.2, rand.New(rand.NewSource(1))
+	}
+	sr, err := core.Split(m.Graph, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("architecture:      %s (%d nodes, %d convolution layers)\n",
+		m.Name, len(m.Graph.Nodes), m.ConvCount())
+	fmt.Printf("requested depth:   %.1f%%  realized: %.1f%% (%d/%d convs)\n",
+		*depth*100, sr.RealizedDepth()*100, sr.SplitConvs, sr.TotalConvs)
+	fmt.Printf("patch grid:        %dx%d (%d patches)\n", *nh, *nw, *nh**nw)
+	fmt.Printf("split region:      %d layers x %d patches\n", len(sr.RegionOps), *nh**nw)
+	fmt.Printf("join points:       %v\n", sr.JoinNames)
+	fmt.Printf("transformed graph: %d nodes\n", len(sr.Graph.Nodes))
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sr.Graph.WriteDOT(f, m.Name+"-split"); err != nil {
+			return err
+		}
+		fmt.Printf("dot graph:         %s\n", *dot)
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	arch := fs.String("arch", "vgg19", "architecture")
+	epochs := fs.Int("epochs", 6, "training epochs")
+	batch := fs.Int("batch", 32, "batch size")
+	widthDiv := fs.Int("widthdiv", 16, "channel width divisor (mini models)")
+	depth := fs.Float64("depth", 0, "splitting depth (0 = baseline)")
+	splits := fs.Int("splits", 4, "number of patches (1, 2, 3, 4, 6 or 9)")
+	stochastic := fs.Bool("stochastic", false, "stochastic splitting (ω=0.2), evaluated unsplit")
+	trainN := fs.Int("train", 1024, "training samples")
+	testN := fs.Int("test", 512, "test samples")
+	seed := fs.Int64("seed", 7, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grids := map[int][2]int{1: {1, 1}, 2: {1, 2}, 3: {1, 3}, 4: {2, 2}, 6: {2, 3}, 9: {3, 3}}
+	grid, ok := grids[*splits]
+	if !ok {
+		return fmt.Errorf("unsupported split count %d", *splits)
+	}
+	dcfg := data.CIFARLike(*trainN, *testN)
+	dcfg.Noise = 0.9
+	dcfg.MaxShift = 6
+	ds, err := data.Synthetic(dcfg)
+	if err != nil {
+		return err
+	}
+	res, err := train.Run(train.Config{
+		Arch:          *arch,
+		Model:         models.Config{WidthDiv: *widthDiv, BatchNorm: true},
+		BatchSize:     *batch,
+		Epochs:        *epochs,
+		LR:            0.05,
+		Momentum:      0.9,
+		WeightDecay:   1e-4,
+		LRDecayEpochs: []int{*epochs * 2 / 3},
+		Split:         core.Config{Depth: *depth, NH: grid[0], NW: grid[1], Stochastic: *stochastic, Omega: 0.2},
+		EvalUnsplit:   *stochastic,
+		Seed:          *seed,
+		Progress: func(epoch int, loss, errRate float64) {
+			fmt.Printf("epoch %2d  train loss %.4f  test error %.4f\n", epoch, loss, errRate)
+		},
+	}, ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final test error: %.4f (split %d/%d convs)\n", res.FinalTestErr, res.SplitConvs, res.TotalConvs)
+	return nil
+}

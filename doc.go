@@ -1,0 +1,18 @@
+// Package splitcnn is a from-scratch Go reproduction of "Split-CNN:
+// Splitting Window-based Operations in Convolutional Neural Networks for
+// Memory System Optimization" (Jin & Hong, ASPLOS 2019).
+//
+// The implementation lives under internal/: a dense-tensor library and
+// computation-graph IR with reverse-mode autodiff (internal/tensor,
+// internal/graph), CNN layers and model builders (internal/nn,
+// internal/models), the Split-CNN graph transformation (internal/core),
+// the HMMS memory planner (internal/hmms), an analytical device model
+// and discrete-event simulator standing in for the paper's P100+NVLink
+// testbed (internal/costmodel, internal/device-level logic in
+// internal/sim), CPU training (internal/train, internal/data), the
+// distributed-training projection (internal/dist), and one driver per
+// paper figure/table (internal/experiments).
+//
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation; see README.md, DESIGN.md and EXPERIMENTS.md.
+package splitcnn

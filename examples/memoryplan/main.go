@@ -1,0 +1,83 @@
+// Memoryplan walks the full HMMS pipeline (§4) on VGG-19: serialize the
+// graph, assign tensor storage objects, plan offload/prefetch with
+// Algorithm 1, statically lay out the three memory pools, and replay the
+// plan on the simulated P100 + NVLink device — comparing the baseline,
+// the vDNN-style layer-wise scheduler, and HMMS.
+//
+//	go run ./examples/memoryplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+)
+
+func main() {
+	const batch = 64
+	dev := costmodel.P100()
+	m := models.VGG19ImageNet(batch)
+
+	// Step 1-2: serialize the computation graph (forward + generated
+	// backward) with cost-model times.
+	prog, err := hmms.BuildProgram(m.Graph, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VGG-19, batch %d: %d forward + %d backward ops\n",
+		batch, prog.NumForward, len(prog.Ops)-prog.NumForward)
+	fmt.Printf("stashed intermediate results: %.2f GB; theoretical offload limit: %.0f%%\n\n",
+		float64(prog.StashedBytes())/1e9, prog.TheoreticalOffloadLimit()*100)
+
+	// Step 3: storage assignment with the §4.2 optimizations.
+	assign := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+	fmt.Printf("storage assignment: %d tensors -> %d TSOs (in-place ReLU fired %dx)\n\n",
+		len(prog.Tensors), len(assign.TSOs), assign.InPlaceReLUCount)
+
+	// Step 4: offload/prefetch planning (Algorithm 1).
+	plan, err := hmms.PlanOffload(prog, assign, prog.TheoreticalOffloadLimit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offload plan: %d TSOs, %.2f GB (%.0f%% of candidates)\n",
+		len(plan.Entries), float64(plan.OffloadedBytes)/1e9, plan.Fraction()*100)
+	e := plan.Entries[0]
+	fmt.Printf("  e.g. TSO %d (%d MB): offload at op %d, sync after op %d, prefetch at op %d, needed before op %d\n\n",
+		e.TSO, e.Bytes>>20, e.OffloadAtOp, e.SyncAtOp, e.PrefetchAtOp, e.SyncBeforeOp)
+
+	// Step 5: static first-fit memory planning, three pools.
+	mem := hmms.PlanMemory(prog, assign, plan, hmms.FirstFit)
+	fmt.Printf("static memory plan (first-fit):\n")
+	fmt.Printf("  device general pool: %7.2f GB (no-reuse would need %.2f GB)\n",
+		float64(mem.PoolBytes[hmms.PoolDeviceGeneral])/1e9, float64(mem.NoReuseBytes)/1e9)
+	fmt.Printf("  device param pool:   %7.2f GB\n", float64(mem.PoolBytes[hmms.PoolDeviceParam])/1e9)
+	fmt.Printf("  host pinned pool:    %7.2f GB\n\n", float64(mem.PoolBytes[hmms.PoolHost])/1e9)
+
+	// Replay each scheduling method on the device simulator (Figure 8).
+	fmt.Printf("%-11s %10s %10s %12s\n", "method", "img/s", "degr", "device mem")
+	for _, method := range []sim.Method{sim.MethodNone, sim.MethodLayerWise, sim.MethodHMMS} {
+		res, _, pm, err := sim.PlanAndRun(m.Graph, dev, method, -1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %10.1f %9.1f%% %9.2f GB\n",
+			method, res.Throughput(batch), res.Degradation()*100, float64(pm.DeviceBytes())/1e9)
+	}
+
+	// And the combination with Split-CNN (the Figure 10 mechanism).
+	sr, err := core.Split(m.Graph, core.Config{Depth: 0.75, NH: 2, NW: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, pm, err := sim.PlanAndRun(sr.Graph, dev, sim.MethodHMMS, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-11s %10.1f %9.1f%% %9.2f GB   <- split(4 patches, depth 75%%) + HMMS\n",
+		"split+hmms", res.Throughput(batch), res.Degradation()*100, float64(pm.DeviceBytes())/1e9)
+}

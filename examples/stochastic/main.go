@@ -1,0 +1,58 @@
+// Stochastic trains a scaled-down VGG-19 on the synthetic CIFAR-like
+// dataset three ways — unmodified baseline, deterministic Split-CNN, and
+// Stochastic Split-CNN (§3.3, ω = 0.2) — and evaluates the stochastic
+// variant on the *unsplit* network, demonstrating the paper's deployment
+// story: random per-minibatch boundaries keep the weights usable without
+// any split-aware inference infrastructure.
+//
+//	go run ./examples/stochastic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/data"
+	"splitcnn/internal/models"
+	"splitcnn/internal/train"
+)
+
+func main() {
+	cfg := data.CIFARLike(1024, 512)
+	cfg.Noise = 0.9
+	cfg.MaxShift = 6
+	ds, err := data.Synthetic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runOne := func(name string, split core.Config, evalUnsplit bool) {
+		fmt.Printf("--- %s ---\n", name)
+		res, err := train.Run(train.Config{
+			Arch:          "vgg19",
+			Model:         models.Config{WidthDiv: 16, BatchNorm: true},
+			BatchSize:     32,
+			Epochs:        6,
+			LR:            0.05,
+			Momentum:      0.9,
+			WeightDecay:   1e-4,
+			LRDecayEpochs: []int{4},
+			Split:         split,
+			EvalUnsplit:   evalUnsplit,
+			Seed:          7,
+			Progress: func(epoch int, loss, errRate float64) {
+				fmt.Printf("  epoch %d: train loss %.3f, test error %.3f\n", epoch, loss, errRate)
+			},
+		}, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  final test error: %.3f\n\n", res.FinalTestErr)
+	}
+
+	runOne("baseline (unsplit)", core.Config{}, false)
+	runOne("split-cnn (depth 50%, 4 patches)", core.Config{Depth: 0.5, NH: 2, NW: 2}, false)
+	runOne("stochastic split-cnn (ω=0.2, evaluated unsplit)",
+		core.Config{Depth: 0.5, NH: 2, NW: 2, Stochastic: true, Omega: 0.2}, true)
+}

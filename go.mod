@@ -1,0 +1,3 @@
+module splitcnn
+
+go 1.24

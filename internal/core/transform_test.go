@@ -1,0 +1,431 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+// buildSingleOpGraph wraps one op (plus conv weights if needed) in a
+// graph so we can compare split vs. unsplit execution.
+func buildConvGraph(n, cin, h, w, cout, k, s, p int) *graph.Graph {
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{n, cin, h, w})
+	wt := g.Param("c.w", tensor.Shape{cout, cin, k, k})
+	bs := g.Param("c.b", tensor.Shape{cout})
+	out := g.Add("c", nn.NewConv(k, s, p), x, wt, bs)
+	g.SetOutput(out)
+	return g
+}
+
+func runGraph(t *testing.T, g *graph.Graph, store *graph.ParamStore, feeds graph.Feeds) *tensor.Tensor {
+	t.Helper()
+	ex, err := graph.NewExecutor(g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := ex.Forward(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs[0]
+}
+
+// TestSplitNaturalConvExact: splitting a k = s convolution (natural
+// split) is semantics-preserving — the split graph computes exactly the
+// unsplit result.
+func TestSplitNaturalConvExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := buildConvGraph(2, 3, 16, 16, 4, 2, 2, 0)
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+
+	res, err := Split(g, Config{Depth: 1, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitConvs != 1 {
+		t.Fatalf("split %d convs, want 1", res.SplitConvs)
+	}
+	store.InitFromGraph(res.Graph, rng, nn.KaimingInit) // no new params expected
+	x := tensor.New(2, 3, 16, 16)
+	x.RandNormal(rng, 1)
+	feeds := graph.Feeds{"image": x}
+	base := runGraph(t, g, store, feeds)
+	split := runGraph(t, res.Graph, store, feeds)
+	if !split.Shape().Equal(base.Shape()) {
+		t.Fatalf("shape %v vs %v", split.Shape(), base.Shape())
+	}
+	if d := tensor.MaxAbsDiff(split, base); d > 1e-5 {
+		t.Fatalf("natural split not exact: diff %v", d)
+	}
+}
+
+// TestSplitOverlappingConvInteriorExact: for a 3x3/1 same-padded conv
+// split at midpoint boundaries, outputs whose window does not straddle a
+// patch boundary must match the unsplit network exactly; boundary rows/
+// columns differ (that is the intentional semantic change of §3).
+func TestSplitOverlappingConvInteriorExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := buildConvGraph(1, 2, 12, 12, 3, 3, 1, 1)
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+
+	res, err := Split(g, Config{Depth: 1, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 2, 12, 12)
+	x.RandNormal(rng, 1)
+	feeds := graph.Feeds{"image": x}
+	base := runGraph(t, g, store, feeds)
+	split := runGraph(t, res.Graph, store, feeds)
+	if !split.Shape().Equal(base.Shape()) {
+		t.Fatalf("shape %v vs %v", split.Shape(), base.Shape())
+	}
+	// Midpoint boundary for out scheme {0,6} with k=3,s=1,pb=1: I = 6.
+	// Windows of outputs 5, 6 touch the boundary; everything else exact.
+	isBoundary := func(i int) bool { return i == 5 || i == 6 }
+	var differs int
+	for co := 0; co < 3; co++ {
+		for y := 0; y < 12; y++ {
+			for xx := 0; xx < 12; xx++ {
+				d := float64(split.At(0, co, y, xx) - base.At(0, co, y, xx))
+				if d < 0 {
+					d = -d
+				}
+				if isBoundary(y) || isBoundary(xx) {
+					if d > 1e-6 {
+						differs++
+					}
+					continue
+				}
+				if d > 1e-5 {
+					t.Fatalf("interior (%d,%d,%d) differs by %v", co, y, xx, d)
+				}
+			}
+		}
+	}
+	if differs == 0 {
+		t.Fatal("split changed nothing at boundaries — suspicious for k > s")
+	}
+}
+
+// TestSplitTrivialConfigsReturnOriginal: depth 0 or a 1x1 grid is a
+// no-op returning the original graph.
+func TestSplitTrivialConfigsReturnOriginal(t *testing.T) {
+	g := buildConvGraph(1, 1, 8, 8, 2, 3, 1, 1)
+	for _, cfg := range []Config{{Depth: 0, NH: 2, NW: 2}, {Depth: 1, NH: 1, NW: 1}} {
+		res, err := Split(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Graph != g || res.SplitConvs != 0 {
+			t.Fatalf("config %+v should be a no-op", cfg)
+		}
+	}
+}
+
+func TestSplitRejectsBadConfig(t *testing.T) {
+	g := buildConvGraph(1, 1, 8, 8, 2, 3, 1, 1)
+	if _, err := Split(g, Config{Depth: 0.5, NH: 0, NW: 2}); err == nil {
+		t.Fatal("accepted 0 patch rows")
+	}
+	if _, err := Split(g, Config{Depth: 1.5, NH: 2, NW: 2}); err == nil {
+		t.Fatal("accepted depth > 1")
+	}
+	if _, err := Split(g, Config{Depth: 0.5, NH: 2, NW: 2, Stochastic: true}); err == nil {
+		t.Fatal("accepted stochastic without rng")
+	}
+}
+
+// chainGraph builds conv-relu-pool-conv-relu over 32x32 and a loss-free
+// output, a miniature VGG prefix.
+func chainGraph(batch int) *graph.Graph {
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{batch, 3, 32, 32})
+	w1 := g.Param("c1.w", tensor.Shape{8, 3, 3, 3})
+	b1 := g.Param("c1.b", tensor.Shape{8})
+	c1 := g.Add("c1", nn.NewConv(3, 1, 1), x, w1, b1)
+	r1 := g.Add("r1", nn.ReLU{}, c1)
+	p1 := g.Add("p1", nn.NewMaxPool(2, 2), r1)
+	w2 := g.Param("c2.w", tensor.Shape{16, 8, 3, 3})
+	b2 := g.Param("c2.b", tensor.Shape{16})
+	c2 := g.Add("c2", nn.NewConv(3, 1, 1), p1, w2, b2)
+	r2 := g.Add("r2", nn.ReLU{}, c2)
+	g.SetOutput(r2)
+	return g
+}
+
+// TestSplitMultiLayerRegion splits both convs of a conv-relu-pool-conv
+// chain and verifies: the region covers every layer, a single join is
+// inserted at the end, patches pass through the pool independently, and
+// parameters are shared by name with the original graph.
+func TestSplitMultiLayerRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := chainGraph(2)
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+
+	res, err := Split(g, Config{Depth: 1, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitConvs != 2 || res.TotalConvs != 2 {
+		t.Fatalf("split %d/%d convs", res.SplitConvs, res.TotalConvs)
+	}
+	if len(res.JoinNames) != 1 {
+		t.Fatalf("joins %v, want exactly one (multi-layer patches must stay independent)", res.JoinNames)
+	}
+	// No parameter may have been renamed or duplicated.
+	newStore := graph.NewParamStore()
+	newStore.InitFromGraph(res.Graph, rng, nil)
+	if newStore.Len() != store.Len() {
+		t.Fatalf("param count changed: %d vs %d", newStore.Len(), store.Len())
+	}
+	for _, p := range newStore.All() {
+		if store.Lookup(p.Name) == nil {
+			t.Fatalf("new param %q appeared", p.Name)
+		}
+	}
+	// The split graph must execute and produce the same output shape.
+	x := tensor.New(2, 3, 32, 32)
+	x.RandNormal(rng, 1)
+	base := runGraph(t, g, store, graph.Feeds{"image": x})
+	split := runGraph(t, res.Graph, store, graph.Feeds{"image": x})
+	if !split.Shape().Equal(base.Shape()) {
+		t.Fatalf("shape %v vs %v", split.Shape(), base.Shape())
+	}
+	// The pool is k = s and convs are intrusive: interiors match.
+	if d := tensor.MaxAbsDiff(split, base); d == 0 {
+		t.Fatal("expected boundary differences for overlapping windows")
+	}
+	// Each patch chain must contain its own conv instances.
+	for _, name := range []string{"c1.p0", "c1.p3", "p1.p2", "c2.p1"} {
+		if res.Graph.FindNode(name) == nil {
+			t.Fatalf("missing patch node %q", name)
+		}
+	}
+}
+
+// TestSplitDepthControlsRegion: with depth 0.5 over the two-conv chain
+// only the first conv (and the ops up to the second conv) are split.
+func TestSplitDepthControlsRegion(t *testing.T) {
+	g := chainGraph(1)
+	res, err := Split(g, Config{Depth: 0.5, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitConvs != 1 {
+		t.Fatalf("split %d convs, want 1", res.SplitConvs)
+	}
+	if res.Graph.FindNode("c2.p0") != nil {
+		t.Fatal("second conv should not be split at depth 0.5")
+	}
+	if res.Graph.FindNode("c2") == nil {
+		t.Fatal("second conv missing from transformed graph")
+	}
+}
+
+// TestSplitGradientsFlowToSharedParams: backward through a split graph
+// accumulates gradients into the same parameter store entries.
+func TestSplitGradientsFlowToSharedParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := chainGraph(2)
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+	res, err := Split(g, Config{Depth: 1, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := graph.NewExecutor(res.Graph, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 3, 32, 32)
+	x.RandNormal(rng, 1)
+	store.ZeroGrads()
+	if _, err := ex.Forward(graph.Feeds{"image": x}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Backward(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range store.All() {
+		var nz bool
+		for _, v := range p.Grad.Data() {
+			if v != 0 {
+				nz = true
+				break
+			}
+		}
+		if !nz && strings.HasSuffix(p.Name, ".w") {
+			t.Fatalf("param %s received no gradient through split graph", p.Name)
+		}
+	}
+}
+
+// TestStochasticSplitVariesAcrossCalls: two stochastic transforms with a
+// shared rng should (almost surely) pick different boundaries.
+func TestStochasticSplitVariesAcrossCalls(t *testing.T) {
+	g := chainGraph(1)
+	rng := rand.New(rand.NewSource(5))
+	boundaries := func() []int {
+		res, err := Split(g, Config{Depth: 1, NH: 2, NW: 2, Stochastic: true, Omega: 0.2, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for _, n := range res.Graph.Nodes {
+			if ep, ok := n.Op.(*nn.ExtractPatch); ok {
+				out = append(out, ep.H0, ep.W0)
+			}
+		}
+		return out
+	}
+	first := boundaries()
+	for i := 0; i < 20; i++ {
+		next := boundaries()
+		same := len(next) == len(first)
+		if same {
+			for j := range next {
+				if next[j] != first[j] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			return
+		}
+	}
+	t.Fatal("stochastic splitting produced identical boundaries 20 times")
+}
+
+// TestSplitResNetStyleBlock: a residual block with identity shortcut
+// splits cleanly — the Add is replicated per patch and the skip edge
+// stays inside the region.
+func TestSplitResNetStyleBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{1, 4, 16, 16})
+	w1 := g.Param("c1.w", tensor.Shape{4, 4, 3, 3})
+	b1 := g.Param("c1.b", tensor.Shape{4})
+	c1 := g.Add("c1", nn.NewConv(3, 1, 1), x, w1, b1)
+	r1 := g.Add("r1", nn.ReLU{}, c1)
+	w2 := g.Param("c2.w", tensor.Shape{4, 4, 3, 3})
+	b2 := g.Param("c2.b", tensor.Shape{4})
+	c2 := g.Add("c2", nn.NewConv(3, 1, 1), r1, w2, b2)
+	// identity shortcut from the block input... but the block input is
+	// the image; use c1's input path: skip from r1's producer region.
+	add := g.Add("add", &nn.Add{N: 2}, c2, c1)
+	out := g.Add("r2", nn.ReLU{}, add)
+	g.SetOutput(out)
+
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+	res, err := Split(g, Config{Depth: 1, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JoinNames) != 1 {
+		t.Fatalf("joins %v, want 1 (skip edge must stay inside the region)", res.JoinNames)
+	}
+	xt := tensor.New(1, 4, 16, 16)
+	xt.RandNormal(rng, 1)
+	base := runGraph(t, g, store, graph.Feeds{"image": xt})
+	split := runGraph(t, res.Graph, store, graph.Feeds{"image": xt})
+	if !split.Shape().Equal(base.Shape()) {
+		t.Fatalf("shape %v vs %v", split.Shape(), base.Shape())
+	}
+}
+
+// TestSplitBatchNormPerPatch: BN inside the region is applied per patch
+// with shared gamma/beta and shared running state.
+func TestSplitBatchNormPerPatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{2, 3, 16, 16})
+	w1 := g.Param("c1.w", tensor.Shape{4, 3, 3, 3})
+	c1 := g.Add("c1", &nn.Conv{Params: tensor.ConvParams{KH: 3, KW: 3, SH: 1, SW: 1, Pad: tensor.Symmetric(1)}}, x, w1)
+	state := nn.NewBNState("bn1", 4)
+	gamma := g.Param("bn1.gamma", tensor.Shape{4})
+	beta := g.Param("bn1.beta", tensor.Shape{4})
+	bn := g.Add("bn1", nn.NewBatchNorm(state), c1, gamma, beta)
+	out := g.Add("r1", nn.ReLU{}, bn)
+	g.SetOutput(out)
+
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+	res, err := Split(g, Config{Depth: 1, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four per-patch BN nodes, all bound to the same state.
+	count := 0
+	for _, n := range res.Graph.Nodes {
+		if b, ok := n.Op.(*nn.BatchNorm); ok {
+			count++
+			if b.State != state {
+				t.Fatal("per-patch BN lost its shared state")
+			}
+		}
+	}
+	if count != 4 {
+		t.Fatalf("found %d BN patch nodes, want 4", count)
+	}
+	xt := tensor.New(2, 3, 16, 16)
+	xt.RandNormal(rng, 1)
+	split := runGraph(t, res.Graph, store, graph.Feeds{"image": xt})
+	if !split.Shape().Equal(tensor.Shape{2, 4, 16, 16}) {
+		t.Fatalf("split BN output shape %v", split.Shape())
+	}
+}
+
+// TestSplitEndToEndLossGraph: a full mini classifier (conv stack + loss)
+// transforms and trains for a step without error.
+func TestSplitEndToEndLossGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{4, 3, 16, 16})
+	labels := g.Input("labels", tensor.Shape{4})
+	w1 := g.Param("c1.w", tensor.Shape{8, 3, 3, 3})
+	b1 := g.Param("c1.b", tensor.Shape{8})
+	c1 := g.Add("c1", nn.NewConv(3, 1, 1), x, w1, b1)
+	r1 := g.Add("r1", nn.ReLU{}, c1)
+	p1 := g.Add("p1", nn.NewMaxPool(2, 2), r1)
+	f := g.Add("flat", nn.Flatten{}, p1)
+	wf := g.Param("fc.w", tensor.Shape{5, 512})
+	bf := g.Param("fc.b", tensor.Shape{5})
+	fc := g.Add("fc", nn.Linear{}, f, wf, bf)
+	loss := g.Add("loss", nn.SoftmaxCrossEntropy{}, fc, labels)
+	g.SetOutput(loss)
+
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+	res, err := Split(g, Config{Depth: 1, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := graph.NewExecutor(res.Graph, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt := tensor.New(4, 3, 16, 16)
+	xt.RandNormal(rng, 1)
+	lt := tensor.FromSlice([]float32{0, 1, 2, 3}, 4)
+	outs, err := ex.Forward(graph.Feeds{"image": xt, "labels": lt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := outs[0].Data()[0]; l <= 0 {
+		t.Fatalf("loss %v", l)
+	}
+	if err := ex.Backward(); err != nil {
+		t.Fatal(err)
+	}
+}

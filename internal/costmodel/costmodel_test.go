@@ -1,0 +1,99 @@
+package costmodel_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+func TestDeviceSpecs(t *testing.T) {
+	p100 := costmodel.P100()
+	v100 := costmodel.V100()
+	if p100.LinkBandwidth != 34.1e9 {
+		t.Fatalf("P100 NVLink bandwidth %v, paper measures 34.1 GB/s", p100.LinkBandwidth)
+	}
+	if p100.MemCapacity != 16<<30 || v100.MemCapacity != 32<<30 {
+		t.Fatal("memory capacities wrong")
+	}
+	if v100.PeakFLOPS <= p100.PeakFLOPS {
+		t.Fatal("V100 should be faster")
+	}
+}
+
+func TestCopyTime(t *testing.T) {
+	d := costmodel.P100()
+	if got := d.CopyTime(34_100_000_000); got < 0.999 || got > 1.001 {
+		t.Fatalf("copying one bandwidth-second of bytes took %v s", got)
+	}
+}
+
+// TestConvComputeBoundPoolMemoryBound is the Figure 1 mechanism: a big
+// convolution has far more execution time per stashed byte than a
+// pooling or BN layer.
+func TestConvComputeBoundPoolMemoryBound(t *testing.T) {
+	d := costmodel.P100()
+	x := tensor.Shape{32, 256, 56, 56}
+	w := tensor.Shape{256, 256, 3, 3}
+	conv := nn.NewConv(3, 1, 1)
+	conv.HasBias = false
+	convOut, err := conv.OutShape([]tensor.Shape{x, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	convTime := d.ForwardTime(conv, []tensor.Shape{x, w}, convOut)
+
+	pool := nn.NewMaxPool(2, 2)
+	poolOut, err := pool.OutShape([]tensor.Shape{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolTime := d.ForwardTime(pool, []tensor.Shape{x}, poolOut)
+
+	// Seconds per byte of input: conv must dwarf pool.
+	convRate := convTime / float64(x.Bytes())
+	poolRate := poolTime / float64(x.Bytes())
+	if convRate < 5*poolRate {
+		t.Fatalf("conv %.3g s/B vs pool %.3g s/B: pooling should be far more memory-bound", convRate, poolRate)
+	}
+	// The pool can never offload its own input in its own time.
+	if float64(x.Bytes()) < poolTime*d.LinkBandwidth {
+		t.Fatal("pool had time to offload its input — contradicts Figure 1")
+	}
+}
+
+// TestWinogradAppliesTo3x3Stride1 verifies the fast-convolution derate.
+func TestWinogradAppliesTo3x3Stride1(t *testing.T) {
+	d := costmodel.P100()
+	x := tensor.Shape{8, 128, 56, 56}
+	w3 := tensor.Shape{128, 128, 3, 3}
+	c3 := nn.NewConv(3, 1, 1)
+	c3.HasBias = false
+	out3, _ := c3.OutShape([]tensor.Shape{x, w3})
+	t3 := d.ForwardTime(c3, []tensor.Shape{x, w3}, out3)
+
+	// Same FLOPs via a strided conv (no Winograd): 3x3 stride 2 has 1/4
+	// the output elements, so compare per-FLOP cost instead.
+	c3s2 := &nn.Conv{Params: tensor.ConvParams{KH: 3, KW: 3, SH: 2, SW: 2, Pad: tensor.Symmetric(1)}}
+	out32, _ := c3s2.OutShape([]tensor.Shape{x, w3})
+	t32 := d.ForwardTime(c3s2, []tensor.Shape{x, w3}, out32)
+
+	perFlop3 := t3 / float64(c3.FLOPs([]tensor.Shape{x, w3}, out3))
+	perFlop32 := t32 / float64(c3s2.FLOPs([]tensor.Shape{x, w3}, out32))
+	if perFlop3 >= perFlop32 {
+		t.Fatalf("3x3/1 conv should be cheaper per FLOP (Winograd): %.3g vs %.3g", perFlop3, perFlop32)
+	}
+}
+
+func TestBackwardCostsMoreThanForward(t *testing.T) {
+	d := costmodel.P100()
+	x := tensor.Shape{8, 64, 28, 28}
+	w := tensor.Shape{64, 64, 3, 3}
+	conv := nn.NewConv(3, 1, 1)
+	conv.HasBias = false
+	out, _ := conv.OutShape([]tensor.Shape{x, w})
+	if d.BackwardTime(conv, []tensor.Shape{x, w}, out) <= d.ForwardTime(conv, []tensor.Shape{x, w}, out) {
+		t.Fatal("conv backward should cost more than forward")
+	}
+}

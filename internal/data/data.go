@@ -1,0 +1,158 @@
+// Package data provides seeded synthetic image-classification datasets
+// standing in for CIFAR-10 and ImageNet in the accuracy experiments
+// (§5). Each class is defined by a prototype built from a handful of
+// low-frequency 2-D sinusoids — structure that spans the whole image, so
+// severing cross-patch spatial communication (which is exactly what
+// Split-CNN does) costs measurable accuracy, reproducing the trends of
+// Figures 4-6 at laptop scale. Samples are the class prototype under a
+// random cyclic shift plus Gaussian noise, which forces the network to
+// learn translation-tolerant convolutional features rather than
+// memorizing pixels.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"splitcnn/internal/tensor"
+)
+
+// Config describes a synthetic dataset.
+type Config struct {
+	Classes       int
+	TrainN, TestN int
+	C, H, W       int
+	// Waves is the number of sinusoidal components per class prototype.
+	Waves int
+	// Noise is the per-pixel Gaussian noise stddev.
+	Noise float64
+	// MaxShift bounds the random cyclic shift in each spatial direction.
+	MaxShift int
+	Seed     int64
+}
+
+// CIFARLike mirrors CIFAR-10's geometry: 10 classes of 3x32x32 images.
+func CIFARLike(trainN, testN int) Config {
+	return Config{Classes: 10, TrainN: trainN, TestN: testN, C: 3, H: 32, W: 32,
+		Waves: 4, Noise: 0.35, MaxShift: 4, Seed: 1}
+}
+
+// ImageNetLike is a heavier stand-in: 20 classes of 3x64x64 images.
+func ImageNetLike(trainN, testN int) Config {
+	return Config{Classes: 20, TrainN: trainN, TestN: testN, C: 3, H: 64, W: 64,
+		Waves: 5, Noise: 0.35, MaxShift: 8, Seed: 2}
+}
+
+// Dataset holds materialized train and test splits.
+type Dataset struct {
+	Cfg        Config
+	TrainX     []float32 // TrainN * C*H*W
+	TrainY     []int
+	TestX      []float32
+	TestY      []int
+	prototypes []float32 // Classes * C*H*W
+}
+
+type wave struct {
+	fx, fy, phase, amp float64
+}
+
+// Synthetic materializes a dataset from cfg deterministically.
+func Synthetic(cfg Config) (*Dataset, error) {
+	if cfg.Classes < 2 || cfg.TrainN <= 0 || cfg.TestN <= 0 || cfg.C <= 0 || cfg.H <= 0 || cfg.W <= 0 {
+		return nil, fmt.Errorf("data: invalid config %+v", cfg)
+	}
+	if cfg.Waves <= 0 {
+		cfg.Waves = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	plane := cfg.H * cfg.W
+	img := cfg.C * plane
+	d := &Dataset{Cfg: cfg, prototypes: make([]float32, cfg.Classes*img)}
+
+	for cls := 0; cls < cfg.Classes; cls++ {
+		waves := make([][]wave, cfg.C)
+		for ch := range waves {
+			waves[ch] = make([]wave, cfg.Waves)
+			for i := range waves[ch] {
+				waves[ch][i] = wave{
+					fx:    0.5 + 1.5*rng.Float64(),
+					fy:    0.5 + 1.5*rng.Float64(),
+					phase: 2 * math.Pi * rng.Float64(),
+					amp:   0.4 + 0.6*rng.Float64(),
+				}
+			}
+		}
+		base := cls * img
+		for ch := 0; ch < cfg.C; ch++ {
+			for y := 0; y < cfg.H; y++ {
+				for x := 0; x < cfg.W; x++ {
+					var v float64
+					for _, w := range waves[ch] {
+						v += w.amp * math.Sin(2*math.Pi*(w.fx*float64(x)/float64(cfg.W)+w.fy*float64(y)/float64(cfg.H))+w.phase)
+					}
+					d.prototypes[base+ch*plane+y*cfg.W+x] = float32(v / math.Sqrt(float64(cfg.Waves)))
+				}
+			}
+		}
+	}
+
+	d.TrainX, d.TrainY = d.sample(cfg.TrainN, rng)
+	d.TestX, d.TestY = d.sample(cfg.TestN, rng)
+	return d, nil
+}
+
+// sample draws n labeled images: prototype + cyclic shift + noise.
+func (d *Dataset) sample(n int, rng *rand.Rand) ([]float32, []int) {
+	cfg := d.Cfg
+	plane := cfg.H * cfg.W
+	img := cfg.C * plane
+	xs := make([]float32, n*img)
+	ys := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(cfg.Classes)
+		ys[i] = cls
+		dx, dy := 0, 0
+		if cfg.MaxShift > 0 {
+			dx = rng.Intn(2*cfg.MaxShift+1) - cfg.MaxShift
+			dy = rng.Intn(2*cfg.MaxShift+1) - cfg.MaxShift
+		}
+		proto := d.prototypes[cls*img : (cls+1)*img]
+		dst := xs[i*img : (i+1)*img]
+		for ch := 0; ch < cfg.C; ch++ {
+			for y := 0; y < cfg.H; y++ {
+				sy := ((y+dy)%cfg.H + cfg.H) % cfg.H
+				for x := 0; x < cfg.W; x++ {
+					sx := ((x+dx)%cfg.W + cfg.W) % cfg.W
+					v := float64(proto[ch*plane+sy*cfg.W+sx]) + rng.NormFloat64()*cfg.Noise
+					dst[ch*plane+y*cfg.W+x] = float32(v)
+				}
+			}
+		}
+	}
+	return xs, ys
+}
+
+// Batch extracts the given sample indices from a split into NCHW image
+// and label tensors suitable for graph.Feeds.
+func (d *Dataset) Batch(train bool, idx []int) (x, labels *tensor.Tensor) {
+	cfg := d.Cfg
+	img := cfg.C * cfg.H * cfg.W
+	xs, ys := d.TrainX, d.TrainY
+	if !train {
+		xs, ys = d.TestX, d.TestY
+	}
+	x = tensor.New(len(idx), cfg.C, cfg.H, cfg.W)
+	labels = tensor.New(len(idx))
+	for i, j := range idx {
+		copy(x.Data()[i*img:(i+1)*img], xs[j*img:(j+1)*img])
+		labels.Data()[i] = float32(ys[j])
+	}
+	return x, labels
+}
+
+// Shuffled returns a permutation of the training indices.
+func (d *Dataset) Shuffled(rng *rand.Rand) []int {
+	return rng.Perm(d.Cfg.TrainN)
+}

@@ -1,0 +1,137 @@
+package data_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"splitcnn/internal/data"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := data.CIFARLike(64, 32)
+	d1, err := data.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := data.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.TrainX {
+		if d1.TrainX[i] != d2.TrainX[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	cfg.Seed = 99
+	d3, _ := data.Synthetic(cfg)
+	same := true
+	for i := range d1.TrainX {
+		if d1.TrainX[i] != d3.TrainX[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticShapesAndLabels(t *testing.T) {
+	cfg := data.ImageNetLike(50, 30)
+	d, err := data.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.TrainX) != 50*3*64*64 || len(d.TestX) != 30*3*64*64 {
+		t.Fatal("split sizes wrong")
+	}
+	for _, y := range append(append([]int{}, d.TrainY...), d.TestY...) {
+		if y < 0 || y >= cfg.Classes {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+	x, labels := d.Batch(true, []int{0, 3, 7})
+	if !x.Shape().Equal([]int{3, 3, 64, 64}) || labels.Elems() != 3 {
+		t.Fatalf("batch shapes %v / %v", x.Shape(), labels.Shape())
+	}
+	if int(labels.Data()[1]) != d.TrainY[3] {
+		t.Fatal("batch labels misaligned")
+	}
+}
+
+func TestSyntheticRejectsBadConfig(t *testing.T) {
+	if _, err := data.Synthetic(data.Config{Classes: 1, TrainN: 10, TestN: 10, C: 1, H: 8, W: 8}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := data.Synthetic(data.Config{Classes: 2, TrainN: 0, TestN: 10, C: 1, H: 8, W: 8}); err == nil {
+		t.Fatal("empty train split accepted")
+	}
+}
+
+// TestClassesAreSeparable: a nearest-prototype classifier on the clean
+// class structure must beat chance by a wide margin, or the accuracy
+// experiments would measure noise.
+func TestClassesAreSeparable(t *testing.T) {
+	cfg := data.CIFARLike(32, 200)
+	cfg.MaxShift = 0 // align with prototypes for this sanity check
+	d, err := data.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := cfg.C * cfg.H * cfg.W
+	// Build per-class means from train, classify test by correlation.
+	means := make([][]float64, cfg.Classes)
+	counts := make([]int, cfg.Classes)
+	for i := range means {
+		means[i] = make([]float64, img)
+	}
+	for i, y := range d.TrainY {
+		counts[y]++
+		for j := 0; j < img; j++ {
+			means[y][j] += float64(d.TrainX[i*img+j])
+		}
+	}
+	for c := range means {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i, y := range d.TestY {
+		best, bi := -1e18, -1
+		for c := range means {
+			if counts[c] == 0 {
+				continue
+			}
+			var dot float64
+			for j := 0; j < img; j++ {
+				dot += means[c][j] * float64(d.TestX[i*img+j])
+			}
+			if dot > best {
+				best, bi = dot, c
+			}
+		}
+		if bi == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(d.TestY))
+	if acc < 0.5 {
+		t.Fatalf("nearest-prototype accuracy %.2f, classes not separable", acc)
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	d, _ := data.Synthetic(data.CIFARLike(40, 10))
+	p := d.Shuffled(rand.New(rand.NewSource(3)))
+	seen := make([]bool, 40)
+	for _, i := range p {
+		if i < 0 || i >= 40 || seen[i] {
+			t.Fatal("not a permutation")
+		}
+		seen[i] = true
+	}
+}

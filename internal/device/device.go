@@ -1,0 +1,295 @@
+// Package device is a discrete-event model of the paper's execution
+// platform: a GPU-class accelerator with one compute stream and several
+// memory streams, attached to the host over a single shared link
+// (NVLink). It is the detailed engine behind the fast analytical replay
+// in internal/sim: where sim computes stall times arithmetically, this
+// package executes an explicit event calendar, models per-stream FIFO
+// queues with link arbitration, enforces device memory capacity against
+// the static plan's pool occupancy over time, and emits exact stream
+// timelines (the nvprof analogue of Figure 9).
+//
+// Terminology follows CUDA: work is issued to streams in order; a
+// stream executes its items back-to-back; events record completion
+// points; a stream may be told to wait on an event recorded on another
+// stream (cudaStreamWaitEvent), which is how the offload plan's
+// "synchronize compute with memory stream m" points are realized.
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StreamID identifies a stream. Stream 0 is always the compute stream.
+type StreamID int
+
+// ComputeStream is the stream kernels execute on.
+const ComputeStream StreamID = 0
+
+// EventID identifies a recorded event.
+type EventID int
+
+// itemKind discriminates work items.
+type itemKind int
+
+const (
+	kindKernel itemKind = iota
+	kindCopy
+	kindRecord
+	kindWait
+)
+
+// workItem is one entry of a stream's FIFO queue.
+type workItem struct {
+	kind     itemKind
+	label    string
+	duration float64 // kernels
+	bytes    int64   // copies
+	event    EventID // record / wait
+}
+
+// Device is a discrete-event accelerator model. Create one with New,
+// enqueue work with Launch/Copy/Record/Wait, then call Run.
+type Device struct {
+	// LinkBandwidth is the host-link bandwidth in bytes/s shared by all
+	// memory streams (copies arbitrate FIFO by issue order).
+	LinkBandwidth float64
+	// MemCapacity, when positive, bounds device memory; exceeding it
+	// makes Run fail (used to validate static plans).
+	MemCapacity int64
+
+	streams   map[StreamID][]workItem
+	streamIDs []StreamID
+	nextEvent EventID
+	// memory occupancy deltas keyed by (stream, item index): applied
+	// when that item completes (frees) or starts (allocations).
+	allocAt map[int64]int64
+	freeAt  map[int64]int64
+}
+
+// New returns a device with the given link bandwidth.
+func New(linkBandwidth float64) *Device {
+	return &Device{
+		LinkBandwidth: linkBandwidth,
+		streams:       map[StreamID][]workItem{ComputeStream: nil},
+		streamIDs:     []StreamID{ComputeStream},
+		allocAt:       map[int64]int64{},
+		freeAt:        map[int64]int64{},
+	}
+}
+
+// NewStream adds a memory stream and returns its ID.
+func (d *Device) NewStream() StreamID {
+	id := StreamID(len(d.streamIDs))
+	d.streamIDs = append(d.streamIDs, id)
+	d.streams[id] = nil
+	return id
+}
+
+func (d *Device) push(s StreamID, it workItem) (StreamID, int) {
+	if _, ok := d.streams[s]; !ok {
+		panic(fmt.Sprintf("device: unknown stream %d", s))
+	}
+	d.streams[s] = append(d.streams[s], it)
+	return s, len(d.streams[s]) - 1
+}
+
+func key(s StreamID, idx int) int64 { return int64(s)<<32 | int64(idx) }
+
+// Launch enqueues a kernel of the given duration on the compute stream.
+// It returns a handle usable with AllocAt/FreeAt.
+func (d *Device) Launch(label string, duration float64) Handle {
+	s, i := d.push(ComputeStream, workItem{kind: kindKernel, label: label, duration: duration})
+	return Handle{s, i}
+}
+
+// Copy enqueues a host-link transfer on a memory stream.
+func (d *Device) Copy(s StreamID, label string, bytes int64) Handle {
+	if s == ComputeStream {
+		panic("device: copies go to memory streams")
+	}
+	h, i := d.push(s, workItem{kind: kindCopy, label: label, bytes: bytes})
+	return Handle{h, i}
+}
+
+// Record enqueues an event-record marker on a stream and returns the
+// event.
+func (d *Device) Record(s StreamID) EventID {
+	ev := d.nextEvent
+	d.nextEvent++
+	d.push(s, workItem{kind: kindRecord, event: ev})
+	return ev
+}
+
+// Wait enqueues a wait-for-event on a stream: later items on s do not
+// start until the event has been recorded (completed) on its stream.
+func (d *Device) Wait(s StreamID, ev EventID) {
+	d.push(s, workItem{kind: kindWait, event: ev})
+}
+
+// Handle names one enqueued item for memory accounting.
+type Handle struct {
+	stream StreamID
+	index  int
+}
+
+// AllocAt registers a device-memory allocation of n bytes taking effect
+// when the item starts.
+func (d *Device) AllocAt(h Handle, n int64) { d.allocAt[key(h.stream, h.index)] += n }
+
+// FreeAt registers a device-memory release of n bytes taking effect when
+// the item completes.
+func (d *Device) FreeAt(h Handle, n int64) { d.freeAt[key(h.stream, h.index)] += n }
+
+// Span is one completed item on the timeline.
+type Span struct {
+	Stream StreamID
+	Label  string
+	Start  float64
+	End    float64
+}
+
+// Trace is the outcome of Run.
+type Trace struct {
+	Spans []Span
+	// Total is the completion time of the last item.
+	Total float64
+	// PeakMemory is the maximum device occupancy observed (only
+	// meaningful when Alloc/Free bookkeeping was supplied).
+	PeakMemory int64
+	// ComputeBusy is the fraction of Total the compute stream executed
+	// kernels.
+	ComputeBusy float64
+}
+
+// Run executes the event calendar and returns the trace. The algorithm
+// is iterative list scheduling: repeatedly pick, among the head items of
+// all streams, one whose dependencies (prior item on the same stream,
+// awaited events, link availability for copies) are satisfied, and
+// retire it. Deadlocks (circular waits) are reported as errors.
+func (d *Device) Run() (*Trace, error) {
+	heads := map[StreamID]int{}
+	streamFree := map[StreamID]float64{}
+	eventDone := map[EventID]float64{}
+	eventKnown := map[EventID]bool{}
+	var linkFree float64
+	tr := &Trace{}
+	var mem, peak int64
+	remaining := 0
+	for _, s := range d.streamIDs {
+		remaining += len(d.streams[s])
+	}
+
+	// memEvents accumulates (time, delta) pairs; applied in time order
+	// at the end for the peak computation.
+	type memEvent struct {
+		t     float64
+		delta int64
+	}
+	var memEvents []memEvent
+
+	retire := func(s StreamID, start, end float64, it workItem, idx int) {
+		if it.kind == kindKernel || it.kind == kindCopy {
+			tr.Spans = append(tr.Spans, Span{Stream: s, Label: it.label, Start: start, End: end})
+			if a := d.allocAt[key(s, idx)]; a != 0 {
+				memEvents = append(memEvents, memEvent{start, a})
+			}
+			if f := d.freeAt[key(s, idx)]; f != 0 {
+				memEvents = append(memEvents, memEvent{end, -f})
+			}
+		}
+		streamFree[s] = end
+		heads[s]++
+		remaining--
+	}
+
+	for remaining > 0 {
+		// Phase 1: retire every head item that does not contend for the
+		// link (kernels, records, satisfiable waits), to a fixpoint.
+		progressed := true
+		for progressed {
+			progressed = false
+			for _, s := range d.streamIDs {
+				idx := heads[s]
+				q := d.streams[s]
+				if idx >= len(q) {
+					continue
+				}
+				it := q[idx]
+				ready := streamFree[s]
+				switch it.kind {
+				case kindWait:
+					if eventKnown[it.event] {
+						retire(s, ready, max(ready, eventDone[it.event]), it, idx)
+						progressed = true
+					}
+				case kindRecord:
+					eventDone[it.event] = ready
+					eventKnown[it.event] = true
+					retire(s, ready, ready, it, idx)
+					progressed = true
+				case kindKernel:
+					retire(s, ready, ready+it.duration, it, idx)
+					progressed = true
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		// Phase 2: the link is a shared FIFO resource — grant it to the
+		// head copy that becomes ready earliest.
+		bestStream := StreamID(-1)
+		bestReady := 0.0
+		for _, s := range d.streamIDs {
+			idx := heads[s]
+			q := d.streams[s]
+			if idx >= len(q) || q[idx].kind != kindCopy {
+				continue
+			}
+			if bestStream < 0 || streamFree[s] < bestReady {
+				bestStream, bestReady = s, streamFree[s]
+			}
+		}
+		if bestStream < 0 {
+			return nil, fmt.Errorf("device: deadlock — circular event waits among streams")
+		}
+		idx := heads[bestStream]
+		it := d.streams[bestStream][idx]
+		start := max(bestReady, linkFree)
+		end := start + float64(it.bytes)/d.LinkBandwidth
+		linkFree = end
+		retire(bestStream, start, end, it, idx)
+	}
+	var busy float64
+	for _, sp := range tr.Spans {
+		if sp.End > tr.Total {
+			tr.Total = sp.End
+		}
+		if sp.Stream == ComputeStream {
+			busy += sp.End - sp.Start
+		}
+	}
+	if tr.Total > 0 {
+		tr.ComputeBusy = busy / tr.Total
+	}
+	sort.SliceStable(memEvents, func(i, j int) bool {
+		if memEvents[i].t != memEvents[j].t {
+			return memEvents[i].t < memEvents[j].t
+		}
+		// frees before allocations at equal times
+		return memEvents[i].delta < memEvents[j].delta
+	})
+	for _, e := range memEvents {
+		mem += e.delta
+		if mem > peak {
+			peak = mem
+		}
+	}
+	tr.PeakMemory = peak
+	if d.MemCapacity > 0 && peak > d.MemCapacity {
+		return tr, fmt.Errorf("device: peak memory %d exceeds capacity %d", peak, d.MemCapacity)
+	}
+	sort.SliceStable(tr.Spans, func(i, j int) bool { return tr.Spans[i].Start < tr.Spans[j].Start })
+	return tr, nil
+}

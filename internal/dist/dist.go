@@ -1,0 +1,68 @@
+// Package dist implements the analytical distributed-training model of
+// §6.4: epoch time under bandwidth-bound gradient aggregation, using the
+// allreduce lower bound of Patarasuk & Yuan (2|G|/B_min), with backward
+// computation pipelined against communication. Split-CNN accelerates
+// distributed training purely by enabling larger per-node batch sizes,
+// which reduces the number of parameter updates per epoch.
+package dist
+
+import "fmt"
+
+// Model holds the measured single-node quantities the projection needs.
+type Model struct {
+	// DatasetSize is |D|, the number of training samples per epoch.
+	DatasetSize int
+	// GradientBytes is |G|, the byte size of one gradient exchange.
+	GradientBytes int64
+	// Alpha is the bandwidth utilization efficiency coefficient
+	// (the paper evaluates an optimistic 0.8).
+	Alpha float64
+}
+
+// StepTimes carries per-minibatch forward/backward compute times for a
+// given batch size (measured on the device simulator).
+type StepTimes struct {
+	BatchSize         int
+	Forward, Backward float64
+}
+
+// AllReduceTime returns the lower-bound gradient aggregation time
+// 2|G| / (α·B) for link bandwidth B in bytes/s.
+func (m Model) AllReduceTime(bandwidth float64) float64 {
+	return 2 * float64(m.GradientBytes) / (m.Alpha * bandwidth)
+}
+
+// EpochTime evaluates the paper's T_epoch formula:
+//
+//	T_epoch = |D|/N · (T_fwd + max(T_bwd, 2|G|/(α·B_min)))
+//
+// Communication overlaps (pipelines with) the backward pass, hence the
+// max. bandwidth is in bytes/s.
+func (m Model) EpochTime(st StepTimes, bandwidth float64) (float64, error) {
+	if st.BatchSize <= 0 {
+		return 0, fmt.Errorf("dist: batch size %d", st.BatchSize)
+	}
+	if bandwidth <= 0 || m.Alpha <= 0 || m.Alpha > 1 {
+		return 0, fmt.Errorf("dist: bandwidth %v / alpha %v invalid", bandwidth, m.Alpha)
+	}
+	steps := float64(m.DatasetSize) / float64(st.BatchSize)
+	return steps * (st.Forward + max(st.Backward, m.AllReduceTime(bandwidth))), nil
+}
+
+// Speedup returns T_epoch(baseline)/T_epoch(split) at the given
+// bandwidth — the quantity Figure 11 plots against network bandwidth.
+func (m Model) Speedup(baseline, split StepTimes, bandwidth float64) (float64, error) {
+	tb, err := m.EpochTime(baseline, bandwidth)
+	if err != nil {
+		return 0, err
+	}
+	ts, err := m.EpochTime(split, bandwidth)
+	if err != nil {
+		return 0, err
+	}
+	return tb / ts, nil
+}
+
+// GbitToBytes converts Gbit/s to bytes/s (the paper's x-axis runs from
+// 0.5 to 32 Gbit/s).
+func GbitToBytes(gbit float64) float64 { return gbit * 1e9 / 8 }

@@ -1,0 +1,91 @@
+package dist_test
+
+import (
+	"math"
+	"testing"
+
+	"splitcnn/internal/dist"
+)
+
+func TestAllReduceLowerBound(t *testing.T) {
+	m := dist.Model{DatasetSize: 1000, GradientBytes: 1 << 30, Alpha: 1}
+	// 2 GiB over 1 GiB/s = 2 s.
+	got := m.AllReduceTime(1 << 30)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("allreduce time %v, want 2", got)
+	}
+	m.Alpha = 0.5
+	if math.Abs(m.AllReduceTime(1<<30)-4) > 1e-9 {
+		t.Fatal("alpha not applied")
+	}
+}
+
+func TestEpochTimePipelining(t *testing.T) {
+	m := dist.Model{DatasetSize: 100, GradientBytes: 1000, Alpha: 1}
+	st := dist.StepTimes{BatchSize: 10, Forward: 1, Backward: 3}
+	// Fast network: communication (2*1000/1e9 ~ 0) hides behind backward.
+	fast, err := m.EpochTime(st, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast-10*(1+3)) > 1e-6 {
+		t.Fatalf("fast-network epoch %v, want 40", fast)
+	}
+	// Slow network: communication dominates the backward pass.
+	slow, err := m.EpochTime(st, 100) // 2*1000/100 = 20 s per step
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slow-10*(1+20)) > 1e-6 {
+		t.Fatalf("slow-network epoch %v, want 210", slow)
+	}
+}
+
+// TestSpeedupMonotonicity: the larger-batch configuration helps most at
+// low bandwidth and the advantage decays to the compute ratio as
+// bandwidth grows — the Figure 11 shape.
+func TestSpeedupMonotonicity(t *testing.T) {
+	m := dist.Model{DatasetSize: 1_281_167, GradientBytes: 574 << 20, Alpha: 0.8}
+	// Split-CNN: 6x batch, slightly slower per-sample compute.
+	base := dist.StepTimes{BatchSize: 64, Forward: 0.22, Backward: 0.42}
+	split := dist.StepTimes{BatchSize: 384, Forward: 6 * 0.225, Backward: 6 * 0.43}
+	var prev float64 = math.Inf(1)
+	for _, gbit := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+		s, err := m.Speedup(base, split, dist.GbitToBytes(gbit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > prev+1e-9 {
+			t.Fatalf("speedup increased with bandwidth: %v at %v Gbit/s", s, gbit)
+		}
+		prev = s
+	}
+	lo, _ := m.Speedup(base, split, dist.GbitToBytes(0.5))
+	hi, _ := m.Speedup(base, split, dist.GbitToBytes(32))
+	if lo < 2 {
+		t.Fatalf("low-bandwidth speedup %v, want > 2", lo)
+	}
+	if hi > lo {
+		t.Fatal("speedup should shrink at high bandwidth")
+	}
+}
+
+func TestEpochTimeValidation(t *testing.T) {
+	m := dist.Model{DatasetSize: 10, GradientBytes: 10, Alpha: 0.8}
+	if _, err := m.EpochTime(dist.StepTimes{BatchSize: 0}, 1e9); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := m.EpochTime(dist.StepTimes{BatchSize: 1}, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	m.Alpha = 1.5
+	if _, err := m.EpochTime(dist.StepTimes{BatchSize: 1}, 1e9); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+}
+
+func TestGbitToBytes(t *testing.T) {
+	if dist.GbitToBytes(8) != 1e9 {
+		t.Fatal("8 Gbit/s should be 1 GB/s")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"splitcnn/internal/core"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+)
+
+func init() { registry["ablations"] = func(o Options) error { _, err := Ablations(o); return err } }
+
+// AblationResult summarizes the design-choice ablations DESIGN.md calls
+// out (also exposed as benchmarks in bench_test.go).
+type AblationResult struct {
+	// Allocator: device general pool under first-fit vs no-reuse.
+	FirstFitBytes, NoReuseBytes int64
+	// Storage optimizations (§4.2) on vs off.
+	OptimizedBytes, UnoptimizedBytes int64
+	InPlaceReLUCount, SharedErrCount int
+	// Split at equal batch: step-time overhead and memory saved.
+	SplitOverhead    float64
+	SplitMemorySaved int64
+	// Scheduler spread: layer-wise vs HMMS stall seconds.
+	LayerWiseStall, HMMSStall float64
+}
+
+// Ablations runs the four ablations on VGG-19 (allocator, storage
+// optimizations, split overhead, scheduler spread) and prints a table.
+func Ablations(opt Options) (*AblationResult, error) {
+	opt.fill()
+	out := &AblationResult{}
+
+	// Allocator ablation on VGG-19.
+	m := models.VGG19ImageNet(16)
+	prog, err := hmms.BuildProgram(m.Graph, opt.Device)
+	if err != nil {
+		return nil, err
+	}
+	assign := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+	ff := hmms.PlanMemory(prog, assign, hmms.PlanNone(), hmms.FirstFit)
+	nr := hmms.PlanMemory(prog, assign, hmms.PlanNone(), hmms.NoReuse)
+	out.FirstFitBytes = ff.PoolBytes[hmms.PoolDeviceGeneral]
+	out.NoReuseBytes = nr.PoolBytes[hmms.PoolDeviceGeneral]
+
+	// §4.2 storage optimizations bind on the ResNet family (residual
+	// adds for error sharing, BN-stashed conv outputs around ReLUs).
+	rn, err := hmms.BuildProgram(models.ResNet18ImageNet(16).Graph, opt.Device)
+	if err != nil {
+		return nil, err
+	}
+	with := hmms.AssignStorage(rn, hmms.DefaultStorageOpts())
+	without := hmms.AssignStorage(rn, hmms.StorageOpts{})
+	out.InPlaceReLUCount = with.InPlaceReLUCount
+	out.SharedErrCount = with.SharedErrorCount
+	out.OptimizedBytes = hmms.PlanMemory(rn, with, hmms.PlanNone(), hmms.FirstFit).PoolBytes[hmms.PoolDeviceGeneral]
+	out.UnoptimizedBytes = hmms.PlanMemory(rn, without, hmms.PlanNone(), hmms.FirstFit).PoolBytes[hmms.PoolDeviceGeneral]
+
+	// Split overhead at equal batch.
+	big := models.VGG19ImageNet(64)
+	base, _, baseMem, err := sim.PlanAndRun(big.Graph, opt.Device, sim.MethodHMMS, -1)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := core.Split(big.Graph, core.Config{Depth: 0.75, NH: 2, NW: 2})
+	if err != nil {
+		return nil, err
+	}
+	split, _, splitMem, err := sim.PlanAndRun(sr.Graph, opt.Device, sim.MethodHMMS, -1)
+	if err != nil {
+		return nil, err
+	}
+	out.SplitOverhead = split.TotalTime/base.TotalTime - 1
+	out.SplitMemorySaved = baseMem.DeviceBytes() - splitMem.DeviceBytes()
+
+	// Scheduler spread.
+	lw, _, _, err := sim.PlanAndRun(big.Graph, opt.Device, sim.MethodLayerWise, -1)
+	if err != nil {
+		return nil, err
+	}
+	out.LayerWiseStall = lw.StallTime
+	out.HMMSStall = base.StallTime
+
+	opt.printf("Ablations (VGG-19, %s)\n", opt.Device.Name)
+	opt.printf("  allocator:        first-fit %.2f GB vs no-reuse %.2f GB (%.1fx)\n",
+		float64(out.FirstFitBytes)/1e9, float64(out.NoReuseBytes)/1e9,
+		float64(out.NoReuseBytes)/float64(out.FirstFitBytes))
+	opt.printf("  §4.2 storage opt: ResNet-18 %.2f GB with vs %.2f GB without (in-place ReLU x%d, shared error x%d)\n",
+		float64(out.OptimizedBytes)/1e9, float64(out.UnoptimizedBytes)/1e9,
+		out.InPlaceReLUCount, out.SharedErrCount)
+	opt.printf("  split @batch 64:  +%.1f%% step time for -%.2f GB planned device memory\n",
+		out.SplitOverhead*100, float64(out.SplitMemorySaved)/1e9)
+	opt.printf("  scheduler stall:  layer-wise %.1f ms vs HMMS %.1f ms\n",
+		out.LayerWiseStall*1e3, out.HMMSStall*1e3)
+	return out, nil
+}

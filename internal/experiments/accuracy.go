@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/data"
+	"splitcnn/internal/models"
+	"splitcnn/internal/train"
+)
+
+func init() {
+	registry["fig4"] = func(o Options) error { _, err := Fig4(o); return err }
+	registry["fig5"] = func(o Options) error { _, err := Fig5(o); return err }
+	registry["fig6"] = func(o Options) error { _, err := Fig6(o); return err }
+	registry["table1"] = func(o Options) error { _, err := Table1(o); return err }
+	registry["fig7"] = registry["table1"]
+}
+
+// accuracySetup bundles the per-scale knobs of a training experiment.
+type accuracySetup struct {
+	ds       *data.Dataset
+	epochs   int
+	batch    int
+	widthDiv int
+	lr       float64
+	decayAt  []int
+}
+
+// cifarSetup builds the synthetic CIFAR-10 stand-in sized for the scale.
+func cifarSetup(opt Options) (accuracySetup, error) {
+	var cfg data.Config
+	s := accuracySetup{batch: 32, lr: 0.05}
+	switch opt.Scale {
+	case Quick:
+		cfg = data.CIFARLike(512, 256)
+		s.epochs, s.widthDiv = 3, 16
+	case Standard:
+		cfg = data.CIFARLike(1024, 512)
+		s.epochs, s.widthDiv = 6, 16
+	default:
+		cfg = data.CIFARLike(2048, 512)
+		s.epochs, s.widthDiv = 10, 8
+	}
+	cfg.Noise = 0.9
+	cfg.MaxShift = 6
+	cfg.Seed += opt.Seed
+	s.decayAt = []int{s.epochs * 2 / 3}
+	ds, err := data.Synthetic(cfg)
+	s.ds = ds
+	return s, err
+}
+
+// imagenetSetup builds the heavier ImageNet stand-in.
+func imagenetSetup(opt Options) (accuracySetup, error) {
+	var cfg data.Config
+	s := accuracySetup{batch: 32, lr: 0.05}
+	// AlexNet's 11x11/4 stem plus three 3x3/2 pools needs at least
+	// 64-pixel inputs, so every scale keeps the 64x64 geometry and
+	// trades sample count and width instead.
+	switch opt.Scale {
+	case Quick:
+		cfg = data.ImageNetLike(256, 128)
+		s.epochs, s.widthDiv = 3, 24
+	case Standard:
+		cfg = data.ImageNetLike(768, 384)
+		s.epochs, s.widthDiv = 6, 16
+	default:
+		cfg = data.ImageNetLike(1536, 512)
+		s.epochs, s.widthDiv = 8, 16
+	}
+	cfg.Noise = 0.8
+	cfg.Seed += opt.Seed
+	s.decayAt = []int{s.epochs * 2 / 3}
+	ds, err := data.Synthetic(cfg)
+	s.ds = ds
+	return s, err
+}
+
+// trainOne runs one configuration and returns the result.
+func (s accuracySetup) trainOne(opt Options, arch string, split core.Config, evalUnsplit bool) (*train.Result, error) {
+	return train.Run(train.Config{
+		Arch:          arch,
+		Model:         models.Config{WidthDiv: s.widthDiv, BatchNorm: true},
+		BatchSize:     s.batch,
+		Epochs:        s.epochs,
+		LR:            s.lr,
+		Momentum:      0.9,
+		WeightDecay:   1e-4,
+		LRDecayEpochs: s.decayAt,
+		Split:         split,
+		EvalUnsplit:   evalUnsplit,
+		Seed:          41 + opt.Seed,
+	}, s.ds)
+}
+
+// AccuracyRow is one point of an accuracy sweep.
+type AccuracyRow struct {
+	Arch          string
+	Label         string
+	Depth         float64
+	Splits        int
+	RealizedDepth float64
+	TestErr       float64
+	Curve         []float64
+}
+
+// Fig4 reproduces Figure 4: test error versus splitting depth
+// {0, 12.5, 25, 37.5, 50}% with four spatial patches, for VGG-19 and
+// ResNet-18 on the CIFAR-like dataset. The paper's observation — error
+// degrades roughly linearly (and slowly) with depth — is checked by
+// comparing endpoint means.
+func Fig4(opt Options) ([]AccuracyRow, error) {
+	opt.fill()
+	s, err := cifarSetup(opt)
+	if err != nil {
+		return nil, err
+	}
+	depths := []float64{0, 0.125, 0.25, 0.375, 0.5}
+	var rows []AccuracyRow
+	opt.printf("Figure 4: test error vs splitting depth (4 patches, CIFAR-like, scale=%s)\n", opt.Scale)
+	opt.printf("%-10s %-8s %-10s %s\n", "arch", "depth", "realized", "test error")
+	for _, arch := range []string{"vgg19", "resnet18"} {
+		for _, d := range depths {
+			res, err := s.trainOne(opt, arch, core.Config{Depth: d, NH: 2, NW: 2}, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s depth %v: %w", arch, d, err)
+			}
+			realized := 0.0
+			if res.TotalConvs > 0 {
+				realized = float64(res.SplitConvs) / float64(res.TotalConvs)
+			}
+			rows = append(rows, AccuracyRow{
+				Arch: arch, Label: fmt.Sprintf("depth=%.1f%%", d*100),
+				Depth: d, Splits: 4, RealizedDepth: realized,
+				TestErr: res.FinalTestErr, Curve: res.TestErr,
+			})
+			opt.printf("%-10s %-8.3f %-10.3f %.4f\n", arch, d, realized, res.FinalTestErr)
+		}
+	}
+	return rows, nil
+}
+
+// Fig5 reproduces Figure 5: test error versus number of splits
+// {1, 2, 3, 4, 6, 9} at ~25% splitting depth.
+func Fig5(opt Options) ([]AccuracyRow, error) {
+	opt.fill()
+	s, err := cifarSetup(opt)
+	if err != nil {
+		return nil, err
+	}
+	grids := []struct{ nh, nw int }{{1, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 3}, {3, 3}}
+	var rows []AccuracyRow
+	opt.printf("Figure 5: test error vs number of splits (depth 25%%, CIFAR-like, scale=%s)\n", opt.Scale)
+	opt.printf("%-10s %-8s %s\n", "arch", "splits", "test error")
+	for _, arch := range []string{"vgg19", "resnet18"} {
+		for _, g := range grids {
+			res, err := s.trainOne(opt, arch, core.Config{Depth: 0.25, NH: g.nh, NW: g.nw}, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s %dx%d: %w", arch, g.nh, g.nw, err)
+			}
+			n := g.nh * g.nw
+			rows = append(rows, AccuracyRow{
+				Arch: arch, Label: fmt.Sprintf("splits=%d", n),
+				Depth: 0.25, Splits: n, TestErr: res.FinalTestErr, Curve: res.TestErr,
+			})
+			opt.printf("%-10s %-8d %.4f\n", arch, n, res.FinalTestErr)
+		}
+	}
+	return rows, nil
+}
+
+// Fig6 reproduces Figure 6: per-epoch test-error curves of the baseline,
+// the deterministic Split-CNN, and the Stochastic Split-CNN (ω = 0.2,
+// evaluated on the unsplit network), at 50% splitting depth with four
+// patches.
+func Fig6(opt Options) ([]AccuracyRow, error) {
+	opt.fill()
+	s, err := cifarSetup(opt)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AccuracyRow
+	opt.printf("Figure 6: stochasticity of splitting (depth 50%%, 4 patches, ω=0.2, scale=%s)\n", opt.Scale)
+	for _, arch := range []string{"vgg19", "resnet18"} {
+		for _, v := range []struct {
+			label       string
+			split       core.Config
+			unsplitEval bool
+		}{
+			{"baseline", core.Config{}, false},
+			{"scnn", core.Config{Depth: 0.5, NH: 2, NW: 2}, false},
+			{"sscnn", core.Config{Depth: 0.5, NH: 2, NW: 2, Stochastic: true, Omega: 0.2}, true},
+		} {
+			res, err := s.trainOne(opt, arch, v.split, v.unsplitEval)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s %s: %w", arch, v.label, err)
+			}
+			rows = append(rows, AccuracyRow{
+				Arch: arch, Label: v.label, Depth: v.split.Depth, Splits: 4,
+				TestErr: res.FinalTestErr, Curve: res.TestErr,
+			})
+			opt.printf("%-10s %-9s final=%.4f curve=%v\n", arch, v.label, res.FinalTestErr, fmtCurve(res.TestErr))
+		}
+	}
+	return rows, nil
+}
+
+// Table1 reproduces Table 1 (and the Figure 7 curves): baseline vs
+// Split-CNN vs Stochastic Split-CNN accuracy for AlexNet and ResNet-50
+// on the ImageNet-like dataset and VGG-19 and ResNet-18 on the
+// CIFAR-like dataset, at the paper's per-architecture depths with four
+// patches.
+func Table1(opt Options) ([]AccuracyRow, error) {
+	opt.fill()
+	cif, err := cifarSetup(opt)
+	if err != nil {
+		return nil, err
+	}
+	img, err := imagenetSetup(opt)
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		arch  string
+		setup accuracySetup
+		depth float64
+	}{
+		{"alexnet", img, 0.60},
+		{"resnet50", img, 0.812},
+		{"vgg19", cif, 0.50},
+		{"resnet18", cif, 0.50},
+	}
+	var rows []AccuracyRow
+	opt.printf("Table 1: classification performance of Split-CNN (scale=%s)\n", opt.Scale)
+	opt.printf("%-10s %-8s %-10s %-10s %-10s\n", "arch", "depth", "baseline", "scnn", "sscnn")
+	for _, c := range cases {
+		base, err := c.setup.trainOne(opt, c.arch, core.Config{}, false)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s baseline: %w", c.arch, err)
+		}
+		scnn, err := c.setup.trainOne(opt, c.arch, core.Config{Depth: c.depth, NH: 2, NW: 2}, false)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s scnn: %w", c.arch, err)
+		}
+		sscnn, err := c.setup.trainOne(opt, c.arch, core.Config{Depth: c.depth, NH: 2, NW: 2, Stochastic: true, Omega: 0.2}, true)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s sscnn: %w", c.arch, err)
+		}
+		rows = append(rows,
+			AccuracyRow{Arch: c.arch, Label: "baseline", TestErr: base.FinalTestErr, Curve: base.TestErr},
+			AccuracyRow{Arch: c.arch, Label: "scnn", Depth: c.depth, Splits: 4, TestErr: scnn.FinalTestErr, Curve: scnn.TestErr},
+			AccuracyRow{Arch: c.arch, Label: "sscnn", Depth: c.depth, Splits: 4, TestErr: sscnn.FinalTestErr, Curve: sscnn.TestErr},
+		)
+		opt.printf("%-10s %-8.3f %-10.4f %-10.4f %-10.4f\n",
+			c.arch, c.depth, base.FinalTestErr, scnn.FinalTestErr, sscnn.FinalTestErr)
+	}
+	return rows, nil
+}
+
+func fmtCurve(c []float64) string {
+	s := "["
+	for i, v := range c {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", v)
+	}
+	return s + "]"
+}

@@ -1,0 +1,178 @@
+package experiments_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/experiments"
+	"splitcnn/internal/sim"
+)
+
+func quietOpts() experiments.Options {
+	return experiments.Options{Scale: experiments.Quick, Device: costmodel.P100(), Out: io.Discard}
+}
+
+func TestRegistryIDs(t *testing.T) {
+	ids := experiments.IDs()
+	want := []string{"ablations", "fig1", "fig10", "fig11", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"}
+	if len(ids) != len(want) {
+		t.Fatalf("experiment IDs %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("experiment IDs %v, want %v", ids, want)
+		}
+	}
+	if err := experiments.Run("nope", quietOpts()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]experiments.Scale{
+		"quick": experiments.Quick, "standard": experiments.Standard,
+		"": experiments.Standard, "full": experiments.Full,
+	} {
+		got, err := experiments.ParseScale(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := experiments.ParseScale("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+// TestFig1Observations re-derives the two Figure 1 conclusions.
+func TestFig1Observations(t *testing.T) {
+	series, err := experiments.Fig1(quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("want 2 networks, got %d", len(series))
+	}
+	if series[0].Limit < 0.99 {
+		t.Fatalf("VGG-19 must be fully offloadable, limit %.2f", series[0].Limit)
+	}
+	if series[1].Limit >= 0.99 || series[1].Limit < 0.3 {
+		t.Fatalf("ResNet-18 limit %.2f outside the partial-offload regime", series[1].Limit)
+	}
+	// Cumulative curves are monotone.
+	for _, s := range series {
+		for i := 1; i < len(s.Rows); i++ {
+			if s.Rows[i].CumGenerated < s.Rows[i-1].CumGenerated ||
+				s.Rows[i].CumOffloadable < s.Rows[i-1].CumOffloadable {
+				t.Fatal("cumulative curves not monotone")
+			}
+		}
+	}
+}
+
+// TestFig8Shape checks the Figure 8 ordering: HMMS within a few percent
+// of the baseline, layer-wise several times worse.
+func TestFig8Shape(t *testing.T) {
+	rows, err := experiments.Fig8(quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	byKey := map[string]experiments.Fig8Row{}
+	for _, r := range rows {
+		byKey[r.Network+"/"+r.Method.String()] = r
+	}
+	for _, net := range []string{"vgg19", "resnet50"} {
+		h := byKey[net+"/hmms"]
+		lw := byKey[net+"/layer-wise"]
+		if h.Degradation > 0.06 {
+			t.Fatalf("%s HMMS degradation %.1f%%", net, h.Degradation*100)
+		}
+		if lw.Degradation < h.Degradation+0.03 {
+			t.Fatalf("%s layer-wise (%.1f%%) should clearly exceed HMMS (%.1f%%)",
+				net, lw.Degradation*100, h.Degradation*100)
+		}
+	}
+}
+
+func TestFig9Timelines(t *testing.T) {
+	var buf strings.Builder
+	opt := quietOpts()
+	opt.Out = &buf
+	rows, err := experiments.Fig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 timelines, got %d", len(rows))
+	}
+	if rows[0].Method != sim.MethodNone || rows[0].LinkBusy != 0 {
+		t.Fatal("baseline timeline should have an idle link")
+	}
+	if rows[2].Method != sim.MethodHMMS || rows[2].LinkBusy <= 0 {
+		t.Fatal("HMMS timeline should use the link")
+	}
+	if rows[1].Stall <= rows[2].Stall {
+		t.Fatal("layer-wise should stall more than HMMS")
+	}
+	if !strings.Contains(buf.String(), "compute  |") {
+		t.Fatal("ASCII timeline missing")
+	}
+}
+
+// TestFig10Shape: the headline scalability result — a clear batch-size
+// gain for both networks, larger for VGG-19 than for ResNet-18 (the
+// paper reports 6x vs 2x), at small throughput cost.
+func TestFig10Shape(t *testing.T) {
+	rows, err := experiments.Fig10(quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	vgg, rn := rows[0], rows[1]
+	if vgg.BatchRatio < 2.5 {
+		t.Fatalf("VGG-19 batch gain %.1fx, want well above 2x", vgg.BatchRatio)
+	}
+	if rn.BatchRatio < 1.5 {
+		t.Fatalf("ResNet-18 batch gain %.1fx, want ~2x", rn.BatchRatio)
+	}
+	if vgg.BatchRatio <= rn.BatchRatio {
+		t.Fatalf("VGG gain (%.1fx) should exceed ResNet gain (%.1fx)", vgg.BatchRatio, rn.BatchRatio)
+	}
+	for _, r := range rows {
+		if r.ThroughputLoss > 0.08 {
+			t.Fatalf("%s throughput loss %.1f%%, want small", r.Network, r.ThroughputLoss*100)
+		}
+	}
+}
+
+// TestFig11Shape: speedup decays monotonically with bandwidth and
+// exceeds 2x at the paper's 10 Gbit/s operating point.
+func TestFig11Shape(t *testing.T) {
+	res, err := experiments.Fig11(quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	var at10 float64
+	for _, p := range res.Points {
+		if p.Speedup > prev+1e-9 {
+			t.Fatalf("speedup not monotone at %v Gbit/s", p.BandwidthGbit)
+		}
+		prev = p.Speedup
+		if p.BandwidthGbit == 10 {
+			at10 = p.Speedup
+		}
+	}
+	if at10 < 1.8 {
+		t.Fatalf("speedup at 10 Gbit/s is %.2fx, paper reports 2.1x", at10)
+	}
+	if res.SplitBatch <= res.BaselineBatch {
+		t.Fatal("split batch should exceed baseline batch")
+	}
+}

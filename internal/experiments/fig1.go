@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+)
+
+func init() { registry["fig1"] = func(o Options) error { _, err := Fig1(o); return err } }
+
+// Fig1Series is one network's Figure 1 panel.
+type Fig1Series struct {
+	Network string
+	Rows    []hmms.LayerProfile
+	// Limit is the final cumulative-offloadable over cumulative-
+	// generated ratio (capped at 1) — the offloadable fraction the paper
+	// reads off the plot (VGG-19: all; ResNet-18: ~55%).
+	Limit float64
+}
+
+// Fig1 reproduces Figure 1: per-layer generated vs. offload-able data
+// sizes and their cumulative curves for the forward pass of VGG-19 and
+// ResNet-18 at batch 64 on the simulated P100 + NVLink testbed.
+func Fig1(opt Options) ([]Fig1Series, error) {
+	opt.fill()
+	const batch = 64
+	var out []Fig1Series
+	for _, mk := range []struct {
+		name string
+		m    *models.Model
+	}{
+		{"VGG-19", models.VGG19ImageNet(batch)},
+		{"ResNet-18", models.ResNet18ImageNet(batch)},
+	} {
+		prog, err := hmms.BuildProgram(mk.m.Graph, opt.Device)
+		if err != nil {
+			return nil, err
+		}
+		s := Fig1Series{Network: mk.name, Rows: prog.ProfileForward(), Limit: prog.TheoreticalOffloadLimit()}
+		out = append(out, s)
+
+		opt.printf("Figure 1 (%s): generated vs offload-able data, batch %d, %s @ %.1f GB/s NVLink\n",
+			mk.name, batch, opt.Device.Name, opt.Device.LinkBandwidth/1e9)
+		opt.printf("%-18s %-10s %10s %12s %12s %12s %12s\n",
+			"layer", "kind", "time(us)", "gen(MB)", "offl(MB)", "cum-gen(MB)", "cum-offl(MB)")
+		for _, r := range s.Rows {
+			opt.printf("%-18s %-10s %10.1f %12.2f %12.2f %12.1f %12.1f\n",
+				r.Name, r.Kind, r.Time*1e6, mb(r.GeneratedBytes), mb(r.OffloadableBytes),
+				mb(r.CumGenerated), mb(r.CumOffloadable))
+		}
+		opt.printf("=> offloadable fraction without performance loss: %.0f%%\n\n", s.Limit*100)
+	}
+	if err := fig1Check(out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func mb(b int64) float64 { return float64(b) / 1e6 }
+
+// fig1Check asserts the paper's two observations hold on our substrate.
+func fig1Check(series []Fig1Series) error {
+	vgg, rn := series[0], series[1]
+	if vgg.Limit < 0.99 {
+		return fmt.Errorf("fig1: VGG-19 should be completely offloadable, got %.2f", vgg.Limit)
+	}
+	if rn.Limit >= 0.99 {
+		return fmt.Errorf("fig1: ResNet-18 should not be fully offloadable, got %.2f", rn.Limit)
+	}
+	// "Memory bound layers like pooling layers ... almost never have
+	// enough time to offload": every pooling layer's own offloadable
+	// bytes must fall short of the data generated up to it by its
+	// producing conv.
+	for _, s := range series {
+		for _, r := range s.Rows {
+			if r.Kind == "maxpool" && r.GeneratedBytes > 0 && r.OffloadableBytes >= r.GeneratedBytes {
+				return fmt.Errorf("fig1: pooling layer %s had time to offload its results", r.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package graph_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+// TestSharedAddendGradientNotCorrupted: two summations sharing an input
+// must not cross-contaminate gradients through the aliased error terms
+// Add.Backward returns. Topology:
+//
+//	y1 = add1(x, w);  y2 = add2(x, v);  out = add3(y1', y2') ...
+//
+// simplified: loss-like sum over relu(add1) and relu(add2). The gradient
+// of v must be exactly d/dv, untouched by the accumulation into x.
+func TestSharedAddendGradientNotCorrupted(t *testing.T) {
+	// d out/d v == 1, d out/d x == 3 (2 via a1's doubled path + 1 via
+	// a2), d out/d w == 2. Without the executor's alias guard, the
+	// accumulation into a1's gradient mutates the shared seed tensor and
+	// v's gradient doubles.
+	g2 := graph.New()
+	store := graph.NewParamStore()
+	px := g2.Param("x", tensor.Shape{1, 4})
+	pw := g2.Param("w", tensor.Shape{1, 4})
+	pv := g2.Param("v", tensor.Shape{1, 4})
+	b1 := g2.Add("a1", &nn.Add{N: 2}, px, pw)
+	b2 := g2.Add("a2", &nn.Add{N: 2}, px, pv)
+	both2 := g2.Add("both", &nn.Add{N: 2}, b1, b1)
+	out2 := g2.Add("out", &nn.Add{N: 2}, both2, b2)
+	g2.SetOutput(out2)
+	store.InitFromGraph(g2, nil, nil)
+	ex2, err := graph.NewExecutor(g2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.ZeroGrads()
+	if _, err := ex2.Forward(graph.Feeds{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex2.Backward(); err != nil {
+		t.Fatal(err)
+	}
+	wantGrad := map[string]float32{"x": 3, "w": 2, "v": 1}
+	for name, want := range wantGrad {
+		got := store.Lookup(name).Grad
+		for i, gv := range got.Data() {
+			if gv != want {
+				t.Fatalf("d out/d %s[%d] = %v, want %v (aliased error terms corrupted a sibling)", name, i, gv, want)
+			}
+		}
+	}
+}

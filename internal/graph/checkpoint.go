@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Checkpoint format: a simple self-describing binary container.
+//
+//	magic "SCNNCKPT" | uint32 version | uint32 paramCount
+//	per parameter (sorted by name):
+//	  uint16 nameLen | name bytes | uint8 flags (1 = NoDecay, 2 = Frozen)
+//	  uint8 rank | int64 dims... | float32 values...
+//
+// Velocity buffers are intentionally not saved: a checkpoint captures
+// the model, not the optimizer.
+
+var ckptMagic = [8]byte{'S', 'C', 'N', 'N', 'C', 'K', 'P', 'T'}
+
+const ckptVersion = 1
+
+// Save writes every parameter of the store to w.
+func (s *ParamStore) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	all := s.All()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ckptVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(all))); err != nil {
+		return err
+	}
+	for _, p := range all {
+		if len(p.Name) > math.MaxUint16 {
+			return fmt.Errorf("checkpoint: parameter name %q too long", p.Name)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		var flags uint8
+		if p.NoDecay {
+			flags |= 1
+		}
+		if p.Frozen {
+			flags |= 2
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := bw.WriteByte(uint8(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, int64(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Value.Data()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores parameters from r into the store, creating missing ones
+// and validating shapes of existing ones.
+func (s *ParamStore) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("checkpoint: bad magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("checkpoint: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		rank, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		if rank == 0 || rank > 8 {
+			return fmt.Errorf("checkpoint: parameter %q has rank %d", name, rank)
+		}
+		dims := make([]int, rank)
+		for d := range dims {
+			var v int64
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return err
+			}
+			if v <= 0 || v > 1<<31 {
+				return fmt.Errorf("checkpoint: parameter %q has dimension %d", name, v)
+			}
+			dims[d] = int(v)
+		}
+		p, err := s.getChecked(string(name), dims)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Value.Data()); err != nil {
+			return err
+		}
+		p.NoDecay = flags&1 != 0
+		p.Frozen = flags&2 != 0
+	}
+	return nil
+}
+
+// SaveFile writes the checkpoint to path atomically (via a temp file).
+func (s *ParamStore) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a checkpoint from path.
+func (s *ParamStore) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}
+
+// Names returns the sorted parameter names (diagnostics and tests).
+func (s *ParamStore) Names() []string {
+	out := make([]string, 0, len(s.params))
+	for n := range s.params {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format — the debugging aid
+// for inspecting what the Split-CNN transformation did to a model
+// (`splitcnn transform -dot`). Inputs are boxes, parameters are
+// ellipses, operations are rounded records labelled kind and output
+// shape; the patch clones created by the transform (".pN" suffixes)
+// share a color per patch so the independent chains are visually
+// obvious.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n")
+	colors := []string{"#dbeafe", "#dcfce7", "#fef9c3", "#fee2e2", "#f3e8ff", "#e0f2fe", "#fae8ff", "#ecfccb", "#ffe4e6"}
+	for _, n := range g.Nodes {
+		id := fmt.Sprintf("n%d", n.ID)
+		switch n.Kind {
+		case KindInput:
+			fmt.Fprintf(&b, "  %s [shape=box, style=filled, fillcolor=\"#f1f5f9\", label=\"%s\\n%v\"];\n",
+				id, n.Name, n.Shape)
+		case KindParam:
+			fmt.Fprintf(&b, "  %s [shape=ellipse, style=dashed, label=\"%s\"];\n", id, n.Name)
+		case KindOp:
+			fill := "#ffffff"
+			if p := patchIndex(n.Name); p >= 0 {
+				fill = colors[p%len(colors)]
+			}
+			fmt.Fprintf(&b, "  %s [shape=box, style=\"rounded,filled\", fillcolor=%q, label=\"%s\\n%s %v\"];\n",
+				id, fill, n.Name, n.Op.Kind(), n.Shape)
+		}
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> %s;\n", in.ID, id)
+		}
+	}
+	for _, out := range g.Outputs {
+		fmt.Fprintf(&b, "  n%d [peripheries=2];\n", out.ID)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// patchIndex extracts the ".pN" patch suffix of a transform-generated
+// node name, or -1.
+func patchIndex(name string) int {
+	i := strings.LastIndex(name, ".p")
+	if i < 0 || i+2 >= len(name) {
+		return -1
+	}
+	v := 0
+	for _, c := range name[i+2:] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v
+}

@@ -1,0 +1,43 @@
+package graph_test
+
+import (
+	"strings"
+	"testing"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{1, 1, 4, 4})
+	w := g.Param("c.w", tensor.Shape{2, 1, 3, 3})
+	b := g.Param("c.b", tensor.Shape{2})
+	c := g.Add("c.p0", nn.NewConv(3, 1, 1), x, w, b)
+	out := g.Add("r", nn.ReLU{}, c)
+	g.SetOutput(out)
+
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.String()
+	for _, want := range []string{
+		`digraph "test"`,
+		`label="image`,
+		`label="c.w"`,
+		"conv",
+		"relu",
+		"n0 -> n3", // image feeds the conv
+		"peripheries=2",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+	// Patch-suffixed nodes are colored.
+	if !strings.Contains(s, "fillcolor=\"#dbeafe\"") {
+		t.Fatalf("patch node not colored:\n%s", s)
+	}
+}

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"fmt"
+
+	"splitcnn/internal/tensor"
+)
+
+// Executor runs real forward/backward arithmetic for a graph on the CPU.
+// It honors the same liveness discipline the memory planner assumes:
+// after the forward pass, activations that no backward computation needs
+// (per the ops' stash declarations) are released immediately, and during
+// the backward pass stashed activations are released as soon as their
+// consumer's gradient has been computed.
+type Executor struct {
+	g     *Graph
+	store *ParamStore
+	topo  []*Node
+	cons  [][]*Node
+
+	vals    []*tensor.Tensor // forward values per node ID
+	stashes []any
+	// remaining counts the not-yet-executed forward consumers of each
+	// node during the current Forward pass.
+	remaining []int
+	// PeakLiveBytes records the maximum simultaneously-live activation
+	// bytes observed during the last Run, a CPU-side analogue of device
+	// memory pressure used by tests.
+	PeakLiveBytes int64
+	liveBytes     int64
+}
+
+// NewExecutor prepares an executor for g resolving parameters in store.
+func NewExecutor(g *Graph, store *ParamStore) (*Executor, error) {
+	topo, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range g.Params() {
+		if store.Lookup(n.Name) == nil {
+			return nil, fmt.Errorf("executor: parameter %q not in store (call InitFromGraph first)", n.Name)
+		}
+	}
+	return &Executor{
+		g:         g,
+		store:     store,
+		topo:      topo,
+		cons:      g.Consumers(),
+		vals:      make([]*tensor.Tensor, len(g.Nodes)),
+		stashes:   make([]any, len(g.Nodes)),
+		remaining: make([]int, len(g.Nodes)),
+	}, nil
+}
+
+// Feeds maps input-node names to their tensors for one step.
+type Feeds map[string]*tensor.Tensor
+
+// Forward runs the forward pass and returns the value of each graph
+// output. Activation tensors not needed by the backward pass are
+// released before Forward returns.
+func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
+	e.liveBytes, e.PeakLiveBytes = 0, 0
+	for id := range e.remaining {
+		e.remaining[id] = len(e.cons[id])
+	}
+	for _, n := range e.topo {
+		switch n.Kind {
+		case KindInput:
+			t, ok := feeds[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("executor: no feed for input %q", n.Name)
+			}
+			if !t.Shape().Equal(n.Shape) {
+				return nil, fmt.Errorf("executor: feed %q has shape %v, node wants %v", n.Name, t.Shape(), n.Shape)
+			}
+			e.vals[n.ID] = t
+		case KindParam:
+			e.vals[n.ID] = e.store.Lookup(n.Name).Value
+		case KindOp:
+			in := make([]*tensor.Tensor, len(n.Inputs))
+			for i, src := range n.Inputs {
+				in[i] = e.vals[src.ID]
+				if in[i] == nil {
+					return nil, fmt.Errorf("executor: %s reads released value of %s", n, src)
+				}
+			}
+			out, stash := n.Op.Forward(in)
+			if !out.Shape().Equal(n.Shape) {
+				return nil, fmt.Errorf("executor: %s produced %v, declared %v", n, out.Shape(), n.Shape)
+			}
+			e.vals[n.ID] = out
+			e.stashes[n.ID] = stash
+			e.account(out.Bytes())
+			// Eagerly release inputs whose last forward consumer just
+			// ran and that no backward computation will read — the same
+			// liveness discipline the static memory planner assumes.
+			for _, src := range n.Inputs {
+				e.remaining[src.ID]--
+				if e.remaining[src.ID] == 0 && !e.keepForBackward(src) {
+					e.release(src)
+				}
+			}
+		}
+	}
+	for _, n := range e.topo {
+		if n.Kind == KindOp && e.remaining[n.ID] == 0 && !e.keepForBackward(n) {
+			e.release(n) // dead ends with no forward consumers
+		}
+	}
+	outs := make([]*tensor.Tensor, len(e.g.Outputs))
+	for i, n := range e.g.Outputs {
+		outs[i] = e.vals[n.ID]
+		if outs[i] == nil {
+			// An output that no consumer stashes was released; recompute
+			// policy is unnecessary here because outputs are always kept.
+			return nil, fmt.Errorf("executor: output %s was released", n)
+		}
+	}
+	return outs, nil
+}
+
+// keepForBackward reports whether node n's forward value is read by any
+// backward computation: by its own op (NeedsOutput) or as a stashed
+// input of a consumer, or is a graph output.
+func (e *Executor) keepForBackward(n *Node) bool {
+	for _, out := range e.g.Outputs {
+		if out == n {
+			return true
+		}
+	}
+	if n.Kind == KindOp && n.Op.NeedsOutput() {
+		return true
+	}
+	for _, c := range e.cons[n.ID] {
+		for i, in := range c.Inputs {
+			if in == n && c.Op.NeedsInput(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *Executor) release(n *Node) {
+	if e.vals[n.ID] != nil && n.Kind == KindOp {
+		e.liveBytes -= e.vals[n.ID].Bytes()
+		e.vals[n.ID] = nil
+	}
+}
+
+func (e *Executor) account(b int64) {
+	e.liveBytes += b
+	if e.liveBytes > e.PeakLiveBytes {
+		e.PeakLiveBytes = e.liveBytes
+	}
+}
+
+// Backward propagates gradients from the graph outputs (seeded with
+// ones, i.e. d loss / d loss = 1) into the parameter store's Grad
+// accumulators. Forward must have been called first.
+func (e *Executor) Backward() error {
+	grads := make([]*tensor.Tensor, len(e.g.Nodes))
+	for _, out := range e.g.Outputs {
+		g := tensor.New(out.Shape...)
+		g.Fill(1)
+		grads[out.ID] = g
+	}
+	for i := len(e.topo) - 1; i >= 0; i-- {
+		n := e.topo[i]
+		if n.Kind != KindOp {
+			continue
+		}
+		gradOut := grads[n.ID]
+		if gradOut == nil {
+			continue // node does not influence any output
+		}
+		in := make([]*tensor.Tensor, len(n.Inputs))
+		for j, src := range n.Inputs {
+			if n.Op.NeedsInput(j) {
+				in[j] = e.vals[src.ID]
+				if in[j] == nil {
+					return fmt.Errorf("executor: backward of %s needs released input %s", n, src)
+				}
+			}
+		}
+		var out *tensor.Tensor
+		if n.Op.NeedsOutput() {
+			out = e.vals[n.ID]
+		}
+		gin := n.Op.Backward(gradOut, in, out, e.stashes[n.ID])
+		if len(gin) != len(n.Inputs) {
+			return fmt.Errorf("executor: %s backward returned %d grads for %d inputs", n, len(gin), len(n.Inputs))
+		}
+		for j, g := range gin {
+			if g == nil {
+				continue
+			}
+			src := n.Inputs[j]
+			if !g.Shape().Equal(src.Shape) {
+				return fmt.Errorf("executor: %s grad %d has shape %v, want %v", n, j, g.Shape(), src.Shape)
+			}
+			switch src.Kind {
+			case KindParam:
+				tensor.AXPY(e.store.Lookup(src.Name).Grad, 1, g)
+			default:
+				if grads[src.ID] == nil {
+					// Summation ops return gradOut itself as each
+					// addend's gradient (§4.2's shared error terms).
+					// Adopting that alias is only safe when no later
+					// backward op will accumulate into it — otherwise
+					// the in-place AXPY would corrupt the other
+					// addends' still-pending (aliased) gradients.
+					if g == gradOut && len(e.cons[src.ID]) > 1 {
+						g = g.Clone()
+					}
+					grads[src.ID] = g
+				} else {
+					tensor.AXPY(grads[src.ID], 1, g)
+				}
+			}
+		}
+		// This node's own gradient and stash are dead now.
+		grads[n.ID] = nil
+		e.stashes[n.ID] = nil
+		e.release(n)
+	}
+	return nil
+}
+
+// Value returns the forward value of a node from the last Forward call
+// (nil if released). Intended for tests and examples.
+func (e *Executor) Value(n *Node) *tensor.Tensor { return e.vals[n.ID] }

@@ -1,0 +1,144 @@
+package hmms_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/sim"
+	"splitcnn/internal/tensor"
+)
+
+// randomChain builds a random sequential CNN: conv/pool/bn/relu/dropout
+// layers with random widths, ending in a classifier head.
+func randomChain(rng *rand.Rand) *graph.Graph {
+	g := graph.New()
+	batch := 1 + rng.Intn(8)
+	c := 1 + rng.Intn(8)
+	h := 16 + 8*rng.Intn(3)
+	cur := g.Input("image", tensor.Shape{batch, c, h, h})
+	labels := g.Input("labels", tensor.Shape{batch})
+	layers := 3 + rng.Intn(10)
+	for i := 0; i < layers; i++ {
+		name := fmt.Sprintf("l%d", i)
+		switch rng.Intn(5) {
+		case 0, 1: // conv (+bias)
+			out := 4 + rng.Intn(12)
+			k := []int{1, 3, 5}[rng.Intn(3)]
+			w := g.Param(name+".w", tensor.Shape{out, cur.Shape.C(), k, k})
+			b := g.Param(name+".b", tensor.Shape{out})
+			cur = g.Add(name, nn.NewConv(k, 1, k/2), cur, w, b)
+		case 2: // pool if the map is still big enough
+			if cur.Shape.H() >= 4 {
+				cur = g.Add(name, nn.NewMaxPool(2, 2), cur)
+			} else {
+				cur = g.Add(name, nn.ReLU{}, cur)
+			}
+		case 3: // batch norm
+			ch := cur.Shape.C()
+			bn := nn.NewBatchNorm(nn.NewBNState(name, ch))
+			bn.Recompute = rng.Intn(2) == 0
+			gamma := g.Param(name+".gamma", tensor.Shape{ch})
+			beta := g.Param(name+".beta", tensor.Shape{ch})
+			cur = g.Add(name, bn, cur, gamma, beta)
+		case 4:
+			cur = g.Add(name, nn.ReLU{}, cur)
+		}
+	}
+	flat := g.Add("flat", nn.Flatten{}, cur)
+	classes := 2 + rng.Intn(8)
+	w := g.Param("fc.w", tensor.Shape{classes, flat.Shape[1]})
+	b := g.Param("fc.b", tensor.Shape{classes})
+	fc := g.Add("fc", nn.Linear{}, flat, w, b)
+	loss := g.Add("loss", nn.SoftmaxCrossEntropy{}, fc, labels)
+	g.SetOutput(loss)
+	return g
+}
+
+// TestFuzzPipelineInvariants runs many random networks through the full
+// HMMS pipeline and checks the invariants that must hold regardless of
+// topology: plan ordering, no forward stalls, first-fit soundness, and
+// monotone memory under offloading caps.
+func TestFuzzPipelineInvariants(t *testing.T) {
+	dev := costmodel.P100()
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomChain(rng)
+		prog, err := hmms.BuildProgram(g, dev)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(prog.BackwardOps()) != prog.NumForward {
+			t.Fatalf("seed %d: backward ops %d != forward %d", seed, len(prog.BackwardOps()), prog.NumForward)
+		}
+		a := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+		for _, limit := range []float64{0, 0.5, 1} {
+			plan, err := hmms.PlanOffload(prog, a, limit)
+			if err != nil {
+				t.Fatalf("seed %d limit %v: %v", seed, limit, err)
+			}
+			checkPlanInvariants(t, prog, plan)
+			if plan.Fraction() > limit+1e-9 {
+				t.Fatalf("seed %d: fraction %v over limit %v", seed, plan.Fraction(), limit)
+			}
+			mem := hmms.PlanMemory(prog, a, plan, hmms.FirstFit)
+			res, err := sim.Run(prog, plan, mem)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if res.ForwardStall > prog.ForwardTime()*1e-6 {
+				t.Fatalf("seed %d limit %v: forward stall %v", seed, limit, res.ForwardStall)
+			}
+			if res.TotalTime < prog.ComputeTime() {
+				t.Fatalf("seed %d: total %v below compute %v", seed, res.TotalTime, prog.ComputeTime())
+			}
+			// Cross-check against the discrete-event device replay.
+			trace, err := sim.Replay(prog, plan, mem, 0)
+			if err != nil {
+				t.Fatalf("seed %d: replay: %v", seed, err)
+			}
+			if d := trace.Total - res.TotalTime; d > res.TotalTime*1e-6 || d < -res.TotalTime*1e-6 {
+				t.Fatalf("seed %d limit %v: replay %.9f vs analytic %.9f", seed, limit, trace.Total, res.TotalTime)
+			}
+		}
+	}
+}
+
+// TestFuzzFirstFitSoundness re-checks the allocator's no-overlap
+// invariant on random networks.
+func TestFuzzFirstFitSoundness(t *testing.T) {
+	dev := costmodel.P100()
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomChain(rng)
+		prog, err := hmms.BuildProgram(g, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+		plan, err := hmms.PlanOffload(prog, a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := hmms.PlanMemory(prog, a, plan, hmms.FirstFit)
+		byPool := map[hmms.Pool][]*hmms.Block{}
+		for _, b := range mem.Blocks {
+			byPool[b.Pool] = append(byPool[b.Pool], b)
+		}
+		for pool, blocks := range byPool {
+			for i := 0; i < len(blocks); i++ {
+				for j := i + 1; j < len(blocks); j++ {
+					x, y := blocks[i], blocks[j]
+					if x.Start <= y.End && y.Start <= x.End &&
+						x.Offset < y.Offset+y.Bytes && y.Offset < x.Offset+x.Bytes {
+						t.Fatalf("seed %d pool %v: %q and %q overlap", seed, pool, x.Name, y.Name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package models
+
+// AlexNet builds the Krizhevsky et al. architecture (the single-tower
+// torchvision variant). Its 11x11/4 and 5x5/1 convolutions exercise the
+// k > s window cases of the split formulation.
+func AlexNet(cfg Config) *Model {
+	b := newBuilder("alexnet", cfg)
+	b.conv("conv1", 64, 11, 4, 2, true)
+	b.maxPool("pool1", 3, 2)
+	b.conv("conv2", 192, 5, 1, 2, true)
+	b.maxPool("pool2", 3, 2)
+	b.conv("conv3", 384, 3, 1, 1, true)
+	b.conv("conv4", 256, 3, 1, 1, true)
+	b.conv("conv5", 256, 3, 1, 1, true)
+	b.maxPool("pool3", 3, 2)
+	b.flatten()
+	b.dropout("drop1", 0.5)
+	b.linear("fc1", 4096/max(cfg.WidthDiv, 1), true)
+	b.dropout("drop2", 0.5)
+	b.linear("fc2", 4096/max(cfg.WidthDiv, 1), true)
+	b.linear("fc3", cfg.Classes, false)
+	return b.finish()
+}
+
+// AlexNetImageNet returns the paper-size AlexNet on 224x224 inputs.
+func AlexNetImageNet(batch int) *Model {
+	return AlexNet(Config{BatchSize: batch, Classes: 1000, InputC: 3, InputH: 224, InputW: 224})
+}

@@ -1,0 +1,209 @@
+// Package models builds the computation graphs of the four architectures
+// the paper evaluates — AlexNet, VGG-19, ResNet-18 and ResNet-50 — in
+// both their ImageNet and CIFAR guises. Full-size graphs feed the
+// memory-planning and throughput experiments (which need only shapes and
+// the cost model); structurally identical scaled-down "mini" variants
+// feed the CPU training experiments.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+// Model bundles a built graph with the handles the rest of the system
+// needs: the image/label inputs, the logits and loss nodes, the ordered
+// list of convolution layers (for split-depth bookkeeping), and the BN
+// state registry shared across rebuilds.
+type Model struct {
+	Name     string
+	Graph    *graph.Graph
+	Input    *graph.Node
+	Labels   *graph.Node
+	Logits   *graph.Node
+	Loss     *graph.Node
+	Classes  int
+	BNStates map[string]*nn.BNState
+	// ConvNames lists convolution layers in input→output order; the
+	// paper's splitting depth is a percentage of this list.
+	ConvNames []string
+}
+
+// Config controls model construction.
+type Config struct {
+	// BatchSize is the leading dimension of every activation.
+	BatchSize int
+	// Classes is the classifier width (1000 ImageNet, 10 CIFAR).
+	Classes int
+	// InputC/H/W describe the input image tensor.
+	InputC, InputH, InputW int
+	// WidthDiv divides every channel count (1 = paper-size; >1 = the
+	// mini variants used for CPU training). Channel counts never drop
+	// below 4.
+	WidthDiv int
+	// BatchNorm inserts BN after every convolution (the CIFAR recipes
+	// and all ResNets use it; classic AlexNet/VGG on ImageNet do not).
+	BatchNorm bool
+	// BNRecompute selects the memory-efficient In-Place-ABN-style BN
+	// whose backward pass recomputes from the output (§6.3).
+	BNRecompute bool
+	// BNStates shares running statistics across rebuilds of the same
+	// model; nil allocates a fresh registry.
+	BNStates map[string]*nn.BNState
+	// Eval builds the network in inference mode (BN uses running stats,
+	// dropout is identity).
+	Eval bool
+}
+
+func (c Config) width(ch int) int {
+	if c.WidthDiv <= 1 {
+		return ch
+	}
+	return max(ch/c.WidthDiv, 4)
+}
+
+// builder accumulates graph nodes while constructing a model.
+type builder struct {
+	cfg   Config
+	g     *graph.Graph
+	m     *Model
+	cur   *graph.Node
+	names map[string]bool
+}
+
+func newBuilder(name string, cfg Config) *builder {
+	if cfg.BatchSize <= 0 || cfg.Classes <= 0 || cfg.InputC <= 0 || cfg.InputH <= 0 || cfg.InputW <= 0 {
+		panic(fmt.Sprintf("models: invalid config %+v", cfg))
+	}
+	g := graph.New()
+	m := &Model{
+		Name:     name,
+		Graph:    g,
+		Classes:  cfg.Classes,
+		BNStates: cfg.BNStates,
+	}
+	if m.BNStates == nil {
+		m.BNStates = make(map[string]*nn.BNState)
+	}
+	b := &builder{cfg: cfg, g: g, m: m, names: make(map[string]bool)}
+	m.Input = g.Input("image", tensor.Shape{cfg.BatchSize, cfg.InputC, cfg.InputH, cfg.InputW})
+	m.Labels = g.Input("labels", tensor.Shape{cfg.BatchSize})
+	b.cur = m.Input
+	return b
+}
+
+func (b *builder) unique(name string) string {
+	if b.names[name] {
+		panic(fmt.Sprintf("models: duplicate layer name %q", name))
+	}
+	b.names[name] = true
+	return name
+}
+
+// conv appends convolution (+ optional BN) + ReLU.
+func (b *builder) conv(name string, outC, k, s, p int, relu bool) {
+	name = b.unique(name)
+	outC = b.cfg.width(outC)
+	inC := b.cur.Shape.C()
+	op := nn.NewConv(k, s, p)
+	op.HasBias = !b.cfg.BatchNorm // BN makes the conv bias redundant
+	w := b.g.Param(name+".w", tensor.Shape{outC, inC, k, k})
+	ins := []*graph.Node{b.cur, w}
+	if op.HasBias {
+		ins = append(ins, b.g.Param(name+".b", tensor.Shape{outC}))
+	}
+	b.cur = b.g.Add(name, op, ins...)
+	b.m.ConvNames = append(b.m.ConvNames, name)
+	switch {
+	case b.cfg.BatchNorm && b.cfg.BNRecompute && relu:
+		// Memory-efficient path (§6.3): fuse BN and the activation into
+		// the invertible In-Place ABN op, whose backward needs only its
+		// own output — the conv output is never stashed.
+		b.bnRelu(name+".bn", outC)
+	case b.cfg.BatchNorm:
+		b.bn(name+".bn", outC)
+		if relu {
+			b.relu(name + ".relu")
+		}
+	case relu:
+		b.relu(name + ".relu")
+	}
+}
+
+func (b *builder) bnRelu(name string, c int) {
+	name = b.unique(name)
+	st, ok := b.m.BNStates[name]
+	if !ok {
+		st = nn.NewBNState(name, c)
+		b.m.BNStates[name] = st
+	}
+	op := nn.NewBNReLU(st)
+	op.Training = !b.cfg.Eval
+	gamma := b.g.Param(name+".gamma", tensor.Shape{c})
+	beta := b.g.Param(name+".beta", tensor.Shape{c})
+	b.cur = b.g.Add(name, op, b.cur, gamma, beta)
+}
+
+func (b *builder) bn(name string, c int) {
+	name = b.unique(name)
+	st, ok := b.m.BNStates[name]
+	if !ok {
+		st = nn.NewBNState(name, c)
+		b.m.BNStates[name] = st
+	}
+	op := nn.NewBatchNorm(st)
+	op.Recompute = b.cfg.BNRecompute
+	op.Training = !b.cfg.Eval
+	gamma := b.g.Param(name+".gamma", tensor.Shape{c})
+	beta := b.g.Param(name+".beta", tensor.Shape{c})
+	b.cur = b.g.Add(name, op, b.cur, gamma, beta)
+}
+
+func (b *builder) relu(name string) {
+	b.cur = b.g.Add(b.unique(name), nn.ReLU{}, b.cur)
+}
+
+func (b *builder) maxPool(name string, k, s int) {
+	b.cur = b.g.Add(b.unique(name), nn.NewMaxPool(k, s), b.cur)
+}
+
+func (b *builder) globalAvgPool(name string) {
+	b.cur = b.g.Add(b.unique(name), nn.GlobalAvgPool{}, b.cur)
+}
+
+func (b *builder) flatten() {
+	b.cur = b.g.Add(b.unique("flatten"), nn.Flatten{}, b.cur)
+}
+
+func (b *builder) linear(name string, outD int, relu bool) {
+	name = b.unique(name)
+	inD := b.cur.Shape[1]
+	w := b.g.Param(name+".w", tensor.Shape{outD, inD})
+	bias := b.g.Param(name+".b", tensor.Shape{outD})
+	b.cur = b.g.Add(name, nn.Linear{}, b.cur, w, bias)
+	if relu {
+		b.relu(name + ".relu")
+	}
+}
+
+func (b *builder) dropout(name string, p float64) {
+	// The executor is single-threaded; ops may keep private RNG state.
+	op := &nn.Dropout{P: p, Training: !b.cfg.Eval, Rng: rand.New(rand.NewSource(int64(0xD0 + len(b.g.Nodes))))}
+	b.cur = b.g.Add(b.unique(name), op, b.cur)
+}
+
+// finish attaches the classifier head loss and returns the model.
+func (b *builder) finish() *Model {
+	b.m.Logits = b.cur
+	b.m.Loss = b.g.Add("loss", nn.SoftmaxCrossEntropy{}, b.cur, b.m.Labels)
+	b.g.SetOutput(b.m.Loss)
+	return b.m
+}
+
+// ConvCount returns the number of convolution layers, the denominator of
+// the paper's splitting-depth percentage.
+func (m *Model) ConvCount() int { return len(m.ConvNames) }

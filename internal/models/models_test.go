@@ -1,0 +1,189 @@
+package models_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/models"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+func TestVGG19ImageNetStructure(t *testing.T) {
+	m := models.VGG19ImageNet(2)
+	if got := m.ConvCount(); got != 16 {
+		t.Fatalf("VGG-19 conv count = %d, want 16", got)
+	}
+	if _, err := m.Graph.Topo(); err != nil {
+		t.Fatalf("topo: %v", err)
+	}
+	// Classifier head present.
+	if m.Graph.FindNode("fc3") == nil {
+		t.Fatal("missing fc3")
+	}
+	if !m.Logits.Shape.Equal(tensor.Shape{2, 1000}) {
+		t.Fatalf("logits shape %v", m.Logits.Shape)
+	}
+	// Parameter count of full VGG-19 is ~143.6M.
+	store := graph.NewParamStore()
+	store.InitFromGraph(m.Graph, rand.New(rand.NewSource(1)), nil)
+	n := store.NumElems()
+	if n < 140_000_000 || n > 147_000_000 {
+		t.Fatalf("VGG-19 params = %d, want ~143.6M", n)
+	}
+}
+
+func TestResNet18ImageNetStructure(t *testing.T) {
+	m := models.ResNet18ImageNet(2)
+	// 1 stem + 16 block convs + 3 projection convs = 20.
+	if got := m.ConvCount(); got != 20 {
+		t.Fatalf("ResNet-18 conv count = %d, want 20", got)
+	}
+	store := graph.NewParamStore()
+	store.InitFromGraph(m.Graph, rand.New(rand.NewSource(1)), nil)
+	n := store.NumElems()
+	// ~11.7M parameters.
+	if n < 11_000_000 || n > 12_500_000 {
+		t.Fatalf("ResNet-18 params = %d, want ~11.7M", n)
+	}
+	if !m.Logits.Shape.Equal(tensor.Shape{2, 1000}) {
+		t.Fatalf("logits shape %v", m.Logits.Shape)
+	}
+}
+
+func TestResNet50Structure(t *testing.T) {
+	m := models.ResNet50ImageNet(1)
+	// 1 stem + 3*16 block convs + 4 projections = 53.
+	if got := m.ConvCount(); got != 53 {
+		t.Fatalf("ResNet-50 conv count = %d, want 53", got)
+	}
+	store := graph.NewParamStore()
+	store.InitFromGraph(m.Graph, rand.New(rand.NewSource(1)), nil)
+	n := store.NumElems()
+	// ~25.6M parameters.
+	if n < 24_000_000 || n > 27_000_000 {
+		t.Fatalf("ResNet-50 params = %d, want ~25.6M", n)
+	}
+}
+
+func TestAlexNetStructure(t *testing.T) {
+	m := models.AlexNetImageNet(2)
+	if got := m.ConvCount(); got != 5 {
+		t.Fatalf("AlexNet conv count = %d, want 5", got)
+	}
+	store := graph.NewParamStore()
+	store.InitFromGraph(m.Graph, rand.New(rand.NewSource(1)), nil)
+	n := store.NumElems()
+	// ~61M parameters.
+	if n < 57_000_000 || n > 65_000_000 {
+		t.Fatalf("AlexNet params = %d, want ~61M", n)
+	}
+}
+
+// TestMiniModelsForwardBackward runs a real forward+backward step on
+// scaled-down variants of all four architectures.
+func TestMiniModelsForwardBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name  string
+		build func() *models.Model
+	}{
+		{"vgg19-cifar", func() *models.Model {
+			return models.VGG19CIFAR(2, models.Config{WidthDiv: 16})
+		}},
+		{"resnet18-cifar", func() *models.Model {
+			return models.ResNet18CIFAR(2, models.Config{WidthDiv: 16})
+		}},
+		{"alexnet-mini", func() *models.Model {
+			return models.AlexNet(models.Config{BatchSize: 2, Classes: 10, InputC: 3, InputH: 64, InputW: 64, WidthDiv: 16})
+		}},
+		{"resnet50-mini", func() *models.Model {
+			return models.ResNet50(models.Config{BatchSize: 2, Classes: 10, InputC: 3, InputH: 64, InputW: 64, WidthDiv: 16})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.build()
+			store := graph.NewParamStore()
+			store.InitFromGraph(m.Graph, rng, nn.KaimingInit)
+			ex, err := graph.NewExecutor(m.Graph, store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := m.Input.Shape
+			x := tensor.New(in...)
+			x.RandNormal(rng, 1)
+			labels := tensor.New(m.Labels.Shape...)
+			for i := range labels.Data() {
+				labels.Data()[i] = float32(i % m.Classes)
+			}
+			outs, err := ex.Forward(graph.Feeds{"image": x, "labels": labels})
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss := float64(outs[0].Data()[0])
+			if loss <= 0 || loss > 100 {
+				t.Fatalf("initial loss %v implausible", loss)
+			}
+			if err := ex.Backward(); err != nil {
+				t.Fatal(err)
+			}
+			// Every trainable parameter must receive some gradient mass
+			// (allowing for dead ReLUs, check aggregate).
+			var mass float64
+			for _, p := range store.All() {
+				for _, g := range p.Grad.Data() {
+					if g != 0 {
+						mass++
+					}
+				}
+			}
+			if mass == 0 {
+				t.Fatal("no gradient reached any parameter")
+			}
+		})
+	}
+}
+
+// TestBNStateSharingAcrossRebuilds verifies that rebuilding a model with
+// the same BNStates map reuses running statistics — the mechanism that
+// lets stochastic split rewrites and the eval-mode unsplit graph agree.
+func TestBNStateSharingAcrossRebuilds(t *testing.T) {
+	m1 := models.ResNet18CIFAR(2, models.Config{WidthDiv: 16})
+	m2 := models.ResNet18CIFAR(2, models.Config{WidthDiv: 16, BNStates: m1.BNStates})
+	if len(m1.BNStates) == 0 {
+		t.Fatal("no BN states registered")
+	}
+	for name, st := range m1.BNStates {
+		if m2.BNStates[name] != st {
+			t.Fatalf("BN state %q not shared", name)
+		}
+	}
+}
+
+func TestVGG16Structure(t *testing.T) {
+	m, err := models.Build("vgg16", models.Config{BatchSize: 1, Classes: 1000, InputC: 3, InputH: 224, InputW: 224})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ConvCount(); got != 13 {
+		t.Fatalf("VGG-16 conv count = %d, want 13", got)
+	}
+	store := graph.NewParamStore()
+	store.InitFromGraph(m.Graph, rand.New(rand.NewSource(1)), nil)
+	n := store.NumElems()
+	// ~138.4M parameters.
+	if n < 135_000_000 || n > 141_000_000 {
+		t.Fatalf("VGG-16 params = %d, want ~138M", n)
+	}
+}
+
+func TestBuildRegistry(t *testing.T) {
+	if _, err := models.Build("bogus", models.Config{BatchSize: 1, Classes: 2, InputC: 1, InputH: 8, InputW: 8}); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	if len(models.Architectures()) != 5 {
+		t.Fatalf("architectures: %v", models.Architectures())
+	}
+}

@@ -1,0 +1,28 @@
+package models
+
+import "fmt"
+
+// Build constructs a model by architecture name: "alexnet", "vgg19",
+// "resnet18" or "resnet50". The Config carries everything else (input
+// geometry, width divisor, BN options, shared BN states, eval mode).
+func Build(arch string, cfg Config) (*Model, error) {
+	switch arch {
+	case "alexnet":
+		return AlexNet(cfg), nil
+	case "vgg16":
+		return VGG16(cfg), nil
+	case "vgg19":
+		return VGG19(cfg), nil
+	case "resnet18":
+		return ResNet18(cfg), nil
+	case "resnet50":
+		return ResNet50(cfg), nil
+	default:
+		return nil, fmt.Errorf("models: unknown architecture %q (want alexnet, vgg16, vgg19, resnet18 or resnet50)", arch)
+	}
+}
+
+// Architectures lists the supported architecture names.
+func Architectures() []string {
+	return []string{"alexnet", "vgg16", "vgg19", "resnet18", "resnet50"}
+}

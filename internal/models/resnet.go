@@ -1,0 +1,125 @@
+package models
+
+import (
+	"fmt"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+// convBN appends a conv (no activation) followed by BN and returns the
+// resulting node, leaving b.cur untouched by the caller's bookkeeping.
+func (b *builder) convBNFrom(from *graph.Node, name string, outC, k, s, p int, relu bool) *graph.Node {
+	saved := b.cur
+	b.cur = from
+	b.conv(name, outC, k, s, p, relu)
+	out := b.cur
+	b.cur = saved
+	return out
+}
+
+// basicBlock is the two-conv residual block of ResNet-18/34.
+func (b *builder) basicBlock(name string, outC, stride int) {
+	in := b.cur
+	inC := in.Shape.C()
+	outCw := b.cfg.width(outC)
+
+	y := b.convBNFrom(in, name+".conv1", outC, 3, stride, 1, true)
+	y = b.convBNFrom(y, name+".conv2", outC, 3, 1, 1, false)
+
+	short := in
+	if stride != 1 || inC != outCw {
+		// Projection shortcut: 1x1 stride-s convolution. With k < s this
+		// is exactly the downsampling case the split formulation's
+		// k >= s mandate excludes (§3.1).
+		short = b.convBNFrom(in, name+".proj", outC, 1, stride, 0, false)
+	}
+	b.cur = b.g.Add(b.unique(name+".add"), &nn.Add{N: 2}, y, short)
+	b.relu(name + ".relu2")
+}
+
+// bottleneckBlock is the three-conv block of ResNet-50 (expansion 4,
+// stride on the 3x3 as in torchvision).
+func (b *builder) bottleneckBlock(name string, midC, stride int) {
+	in := b.cur
+	inC := in.Shape.C()
+	outCw := b.cfg.width(midC * 4)
+
+	y := b.convBNFrom(in, name+".conv1", midC, 1, 1, 0, true)
+	y = b.convBNFrom(y, name+".conv2", midC, 3, stride, 1, true)
+	y = b.convBNFrom(y, name+".conv3", midC*4, 1, 1, 0, false)
+
+	short := in
+	if stride != 1 || inC != outCw {
+		short = b.convBNFrom(in, name+".proj", midC*4, 1, stride, 0, false)
+	}
+	b.cur = b.g.Add(b.unique(name+".add"), &nn.Add{N: 2}, y, short)
+	b.relu(name + ".relu3")
+}
+
+// resNet assembles a residual network. blocksPerStage is e.g.
+// {2, 2, 2, 2} for ResNet-18 or {3, 4, 6, 3} for ResNet-50; bottleneck
+// selects the three-conv block. CIFAR-style stems (3x3/1, no max pool)
+// are used when the input is smaller than 64 pixels.
+func resNet(name string, cfg Config, blocksPerStage [4]int, bottleneck bool) *Model {
+	cfg.BatchNorm = true // the ResNet family is inseparable from BN
+	b := newBuilder(name, cfg)
+	imageNetStem := cfg.InputH >= 64
+	if imageNetStem {
+		b.conv("stem", 64, 7, 2, 3, true)
+		mp := &nn.MaxPool{Params: tensor.ConvParams{KH: 3, KW: 3, SH: 2, SW: 2, Pad: tensor.Symmetric(1)}}
+		b.cur = b.g.Add(b.unique("stem.pool"), mp, b.cur)
+	} else {
+		b.conv("stem", 64, 3, 1, 1, true)
+	}
+	channels := [4]int{64, 128, 256, 512}
+	for stage, nBlocks := range blocksPerStage {
+		stride := 2
+		if stage == 0 {
+			stride = 1
+		}
+		for blk := 0; blk < nBlocks; blk++ {
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			bn := fmt.Sprintf("s%db%d", stage+1, blk+1)
+			if bottleneck {
+				b.bottleneckBlock(bn, channels[stage], s)
+			} else {
+				b.basicBlock(bn, channels[stage], s)
+			}
+		}
+	}
+	b.globalAvgPool("gap")
+	b.flatten()
+	b.linear("fc", cfg.Classes, false)
+	return b.finish()
+}
+
+// ResNet18 builds ResNet-18 (basic blocks, {2,2,2,2}).
+func ResNet18(cfg Config) *Model { return resNet("resnet18", cfg, [4]int{2, 2, 2, 2}, false) }
+
+// ResNet50 builds ResNet-50 (bottleneck blocks, {3,4,6,3}).
+func ResNet50(cfg Config) *Model { return resNet("resnet50", cfg, [4]int{3, 4, 6, 3}, true) }
+
+// ResNet18ImageNet returns the paper-size ResNet-18 on 224x224 inputs,
+// as profiled in Figure 1.
+func ResNet18ImageNet(batch int) *Model {
+	return ResNet18(Config{BatchSize: batch, Classes: 1000, InputC: 3, InputH: 224, InputW: 224})
+}
+
+// ResNet50ImageNet returns the paper-size ResNet-50 on 224x224 inputs.
+func ResNet50ImageNet(batch int) *Model {
+	return ResNet50(Config{BatchSize: batch, Classes: 1000, InputC: 3, InputH: 224, InputW: 224})
+}
+
+// ResNet18CIFAR returns the CIFAR-10 adaptation (3x3 stem, no stem
+// pooling) used in the accuracy experiments.
+func ResNet18CIFAR(batch int, cfg Config) *Model {
+	cfg.BatchSize = batch
+	cfg.Classes = 10
+	cfg.InputC, cfg.InputH, cfg.InputW = 3, 32, 32
+	return ResNet18(cfg)
+}

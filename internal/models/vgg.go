@@ -1,0 +1,60 @@
+package models
+
+import "fmt"
+
+// vgg19Plan and vgg16Plan are the layer plans of configurations E and D
+// of Simonyan & Zisserman: channel counts with -1 marking 2x2/2 pools.
+var (
+	vgg19Plan = []int{64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1, 512, 512, 512, 512, -1, 512, 512, 512, 512, -1}
+	vgg16Plan = []int{64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512, 512, 512, -1}
+)
+
+// VGG16 builds VGG-16 (the network vDNN's evaluation trained at batch
+// 256 with 18% throughput degradation, §2.2.2).
+func VGG16(cfg Config) *Model { return vgg("vgg16", vgg16Plan, cfg) }
+
+// VGG19 builds VGG-19. With cfg.InputH >= 64 it attaches the ImageNet
+// head (4096-4096-classes with dropout); smaller inputs get the single
+// linear CIFAR head.
+func VGG19(cfg Config) *Model { return vgg("vgg19", vgg19Plan, cfg) }
+
+func vgg(name string, plan []int, cfg Config) *Model {
+	b := newBuilder(name, cfg)
+	ci := 0
+	for _, ch := range plan {
+		if ch == -1 {
+			b.maxPool(fmt.Sprintf("pool%d", ci), 2, 2)
+			continue
+		}
+		ci++
+		b.conv(fmt.Sprintf("conv%d", ci), ch, 3, 1, 1, true)
+	}
+	b.flatten()
+	if cfg.InputH >= 64 {
+		b.linear("fc1", 4096/max(cfg.WidthDiv, 1), true)
+		b.dropout("drop1", 0.5)
+		b.linear("fc2", 4096/max(cfg.WidthDiv, 1), true)
+		b.dropout("drop2", 0.5)
+		b.linear("fc3", cfg.Classes, false)
+	} else {
+		b.linear("fc", cfg.Classes, false)
+	}
+	return b.finish()
+}
+
+// VGG19ImageNet returns the paper-size VGG-19 on 224x224 ImageNet
+// inputs, as profiled in Figure 1.
+func VGG19ImageNet(batch int) *Model {
+	return VGG19(Config{BatchSize: batch, Classes: 1000, InputC: 3, InputH: 224, InputW: 224})
+}
+
+// VGG19CIFAR returns the CIFAR-10 adaptation (32x32 inputs, BN after
+// every convolution, single linear head) used in the accuracy
+// experiments of §5.2.
+func VGG19CIFAR(batch int, cfg Config) *Model {
+	cfg.BatchSize = batch
+	cfg.Classes = 10
+	cfg.InputC, cfg.InputH, cfg.InputW = 3, 32, 32
+	cfg.BatchNorm = true
+	return VGG19(cfg)
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"splitcnn/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation. Its backward pass reads only
+// its *output*, never its input — the property that makes the in-place
+// ReLU storage optimization of §4.2 legal (input and output tensors may
+// share one TSO).
+type ReLU struct{}
+
+// Kind implements graph.Op.
+func (ReLU) Kind() string { return "relu" }
+
+// PatchwiseSafe reports that ReLU commutes with spatial splitting.
+func (ReLU) PatchwiseSafe() bool { return true }
+
+// InPlaceEligible marks the op as computable in place (§4.2).
+func (ReLU) InPlaceEligible() bool { return true }
+
+// OutShape implements graph.Op.
+func (ReLU) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("relu: want one input")
+	}
+	return in[0].Clone(), nil
+}
+
+// Forward implements graph.Op.
+func (ReLU) Forward(in []*tensor.Tensor) (*tensor.Tensor, any) {
+	out := tensor.New(in[0].Shape()...)
+	tensor.ReLU(out, in[0])
+	return out, nil
+}
+
+// Backward implements graph.Op.
+func (ReLU) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, out *tensor.Tensor, _ any) []*tensor.Tensor {
+	gi := tensor.New(gradOut.Shape()...)
+	tensor.ReLUBackward(gi, gradOut, out)
+	return []*tensor.Tensor{gi}
+}
+
+// NeedsInput implements graph.Op.
+func (ReLU) NeedsInput(int) bool { return false }
+
+// NeedsOutput implements graph.Op.
+func (ReLU) NeedsOutput() bool { return true }
+
+// FLOPs implements graph.Op.
+func (ReLU) FLOPs(in []tensor.Shape, _ tensor.Shape) int64 { return int64(in[0].Elems()) }
+
+// WorkspaceBytes implements graph.Op.
+func (ReLU) WorkspaceBytes([]tensor.Shape, tensor.Shape) int64 { return 0 }
+
+// Dropout zeroes each element with probability P during training and
+// scales survivors by 1/(1−P) (inverted dropout). A nil Rng or Training
+// == false makes it the identity.
+type Dropout struct {
+	P        float64
+	Training bool
+	Rng      *rand.Rand
+}
+
+// Kind implements graph.Op.
+func (d *Dropout) Kind() string { return "dropout" }
+
+// PatchwiseSafe reports that dropout commutes with spatial splitting.
+func (d *Dropout) PatchwiseSafe() bool { return true }
+
+// OutShape implements graph.Op.
+func (d *Dropout) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("dropout: want one input")
+	}
+	return in[0].Clone(), nil
+}
+
+// Forward implements graph.Op. The stash is the keep mask.
+func (d *Dropout) Forward(in []*tensor.Tensor) (*tensor.Tensor, any) {
+	x := in[0]
+	if !d.Training || d.Rng == nil || d.P <= 0 {
+		return x.Clone(), nil
+	}
+	out := tensor.New(x.Shape()...)
+	mask := make([]bool, x.Elems())
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data() {
+		if d.Rng.Float64() >= d.P {
+			mask[i] = true
+			out.Data()[i] = v * scale
+		}
+	}
+	return out, mask
+}
+
+// Backward implements graph.Op.
+func (d *Dropout) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, _ *tensor.Tensor, stash any) []*tensor.Tensor {
+	gi := tensor.New(gradOut.Shape()...)
+	if stash == nil {
+		gi.CopyFrom(gradOut)
+		return []*tensor.Tensor{gi}
+	}
+	mask := stash.([]bool)
+	scale := float32(1 / (1 - d.P))
+	for i, g := range gradOut.Data() {
+		if mask[i] {
+			gi.Data()[i] = g * scale
+		}
+	}
+	return []*tensor.Tensor{gi}
+}
+
+// NeedsInput implements graph.Op.
+func (d *Dropout) NeedsInput(int) bool { return false }
+
+// NeedsOutput implements graph.Op.
+func (d *Dropout) NeedsOutput() bool { return false }
+
+// FLOPs implements graph.Op.
+func (d *Dropout) FLOPs(in []tensor.Shape, _ tensor.Shape) int64 { return int64(in[0].Elems()) }
+
+// WorkspaceBytes implements graph.Op.
+func (d *Dropout) WorkspaceBytes([]tensor.Shape, tensor.Shape) int64 { return 0 }

@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"splitcnn/internal/graph"
+)
+
+// KaimingInit initializes parameters by naming convention, matching the
+// defaults of the paper's training recipes:
+//
+//   - "*.w"     → Kaiming-normal with gain √2 (fan-in from the weight shape)
+//   - "*.b"     → zero
+//   - "*.gamma" → one  (BN scale; marked NoDecay)
+//   - "*.beta"  → zero (BN shift; marked NoDecay)
+//
+// It is used as a graph.Initializer via ParamStore.InitFromGraph.
+func KaimingInit(rng *rand.Rand, p *graph.Param) {
+	switch {
+	case strings.HasSuffix(p.Name, ".w"):
+		s := p.Value.Shape()
+		fanIn := 1
+		for _, d := range s[1:] {
+			fanIn *= d
+		}
+		std := math.Sqrt(2 / float64(fanIn))
+		p.Value.RandNormal(rng, std)
+	case strings.HasSuffix(p.Name, ".gamma"):
+		p.Value.Fill(1)
+		p.NoDecay = true
+	case strings.HasSuffix(p.Name, ".beta"):
+		p.NoDecay = true
+	case strings.HasSuffix(p.Name, ".b"):
+		p.NoDecay = true
+	}
+}

@@ -1,0 +1,82 @@
+package nn_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+// TestOutShapeValidation exercises the error paths of every op's shape
+// inference — the guard rails the graph builder and the modelfile parser
+// rely on.
+func TestOutShapeValidation(t *testing.T) {
+	s := func(dims ...int) tensor.Shape { return tensor.Shape(dims) }
+	conv := nn.NewConv(3, 1, 1)
+	bn := nn.NewBatchNorm(nn.NewBNState("bn", 4))
+	bnr := nn.NewBNReLU(nn.NewBNState("bnr", 4))
+	cases := []struct {
+		name string
+		op   graph.Op
+		in   []tensor.Shape
+	}{
+		{"conv wrong arity", conv, []tensor.Shape{s(1, 3, 8, 8)}},
+		{"conv rank", conv, []tensor.Shape{s(3, 8, 8), s(4, 3, 3, 3), s(4)}},
+		{"conv channel mismatch", conv, []tensor.Shape{s(1, 5, 8, 8), s(4, 3, 3, 3), s(4)}},
+		{"conv kernel mismatch", conv, []tensor.Shape{s(1, 3, 8, 8), s(4, 3, 5, 5), s(4)}},
+		{"conv bias mismatch", conv, []tensor.Shape{s(1, 3, 8, 8), s(4, 3, 3, 3), s(5)}},
+		{"conv degenerate output", nn.NewConv(9, 1, 0), []tensor.Shape{s(1, 3, 4, 4), s(4, 3, 9, 9), s(4)}},
+		{"maxpool arity", nn.NewMaxPool(2, 2), []tensor.Shape{s(1, 3, 8, 8), s(1, 3, 8, 8)}},
+		{"maxpool rank", nn.NewMaxPool(2, 2), []tensor.Shape{s(3, 8, 8)}},
+		{"avgpool degenerate", nn.NewAvgPool(9, 9), []tensor.Shape{s(1, 3, 4, 4)}},
+		{"gap rank", nn.GlobalAvgPool{}, []tensor.Shape{s(3, 8)}},
+		{"bn arity", bn, []tensor.Shape{s(1, 4, 8, 8)}},
+		{"bn gamma mismatch", bn, []tensor.Shape{s(1, 4, 8, 8), s(5), s(4)}},
+		{"bn rank", bn, []tensor.Shape{s(4, 8), s(4), s(4)}},
+		{"bnrelu gamma mismatch", bnr, []tensor.Shape{s(1, 4, 8, 8), s(5), s(4)}},
+		{"relu arity", nn.ReLU{}, []tensor.Shape{s(1, 4), s(1, 4)}},
+		{"dropout arity", &nn.Dropout{}, []tensor.Shape{}},
+		{"flatten rank", nn.Flatten{}, []tensor.Shape{s(8)}},
+		{"linear arity", nn.Linear{}, []tensor.Shape{s(2, 8), s(4, 8)}},
+		{"linear dims", nn.Linear{}, []tensor.Shape{s(2, 8), s(4, 9), s(4)}},
+		{"linear bias", nn.Linear{}, []tensor.Shape{s(2, 8), s(4, 8), s(5)}},
+		{"xent arity", nn.SoftmaxCrossEntropy{}, []tensor.Shape{s(2, 8)}},
+		{"xent batch mismatch", nn.SoftmaxCrossEntropy{}, []tensor.Shape{s(2, 8), s(3)}},
+		{"add count", &nn.Add{N: 2}, []tensor.Shape{s(1, 4)}},
+		{"add shape mismatch", &nn.Add{N: 2}, []tensor.Shape{s(1, 4), s(1, 5)}},
+		{"extract window", &nn.ExtractPatch{H0: 3, H1: 2, W0: 0, W1: 2}, []tensor.Shape{s(1, 1, 4, 4)}},
+		{"extract out of range", &nn.ExtractPatch{H0: 0, H1: 9, W0: 0, W1: 2}, []tensor.Shape{s(1, 1, 4, 4)}},
+		{"concat count", &nn.ConcatPatches{NH: 2, NW: 2}, []tensor.Shape{s(1, 1, 2, 2)}},
+		{"concat row mismatch", &nn.ConcatPatches{NH: 1, NW: 2}, []tensor.Shape{s(1, 1, 2, 2), s(1, 1, 3, 2)}},
+		{"concat channel mismatch", &nn.ConcatPatches{NH: 1, NW: 2}, []tensor.Shape{s(1, 1, 2, 2), s(1, 2, 2, 2)}},
+	}
+	for _, c := range cases {
+		if _, err := c.op.OutShape(c.in); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestOutShapeHappyPaths pins the inferred shapes for each op.
+func TestOutShapeHappyPaths(t *testing.T) {
+	s := func(dims ...int) tensor.Shape { return tensor.Shape(dims) }
+	check := func(name string, op graph.Op, in []tensor.Shape, want tensor.Shape) {
+		t.Helper()
+		got, err := op.OutShape(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: %v, want %v", name, got, want)
+		}
+	}
+	check("conv", nn.NewConv(3, 2, 1), []tensor.Shape{s(2, 3, 9, 9), s(8, 3, 3, 3), s(8)}, s(2, 8, 5, 5))
+	check("maxpool", nn.NewMaxPool(2, 2), []tensor.Shape{s(1, 4, 8, 8)}, s(1, 4, 4, 4))
+	check("gap", nn.GlobalAvgPool{}, []tensor.Shape{s(2, 7, 5, 5)}, s(2, 7, 1, 1))
+	check("flatten", nn.Flatten{}, []tensor.Shape{s(2, 3, 4, 5)}, s(2, 60))
+	check("linear", nn.Linear{}, []tensor.Shape{s(2, 60), s(10, 60), s(10)}, s(2, 10))
+	check("xent", nn.SoftmaxCrossEntropy{}, []tensor.Shape{s(4, 10), s(4)}, s(1))
+	check("extract", &nn.ExtractPatch{H0: 1, H1: 3, W0: 2, W1: 6}, []tensor.Shape{s(1, 2, 8, 8)}, s(1, 2, 2, 4))
+	check("concat", &nn.ConcatPatches{NH: 2, NW: 1}, []tensor.Shape{s(1, 2, 3, 4), s(1, 2, 5, 4)}, s(1, 2, 8, 4))
+}

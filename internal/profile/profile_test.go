@@ -1,0 +1,92 @@
+package profile_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/profile"
+	"splitcnn/internal/sim"
+)
+
+func TestMeasuredProgramEndToEnd(t *testing.T) {
+	m := models.VGG19CIFAR(4, models.Config{WidthDiv: 16})
+	opt := profile.DefaultOptions()
+	opt.Repeats = 3 // keep the test fast; the paper uses 20
+	prog, err := profile.BuildProgram(m.Graph, costmodel.P100(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range prog.Ops {
+		if op.Time <= 0 {
+			t.Fatalf("op %s has non-positive measured time %v", op.Name, op.Time)
+		}
+	}
+	// The measured program drives the same planner and simulator.
+	assign := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+	plan, err := hmms.PlanOffload(prog, assign, prog.TheoreticalOffloadLimit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(prog, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("empty simulation")
+	}
+	if res.ForwardStall > prog.ForwardTime()*0.01 {
+		t.Fatalf("measured-time plan stalls the forward pass by %v s", res.ForwardStall)
+	}
+}
+
+// TestMeasuredTimesAreOrdered: a big convolution must measure slower
+// than a tiny ReLU — a sanity check that the timer measures anything.
+func TestMeasuredTimesAreOrdered(t *testing.T) {
+	m := models.VGG19CIFAR(4, models.Config{WidthDiv: 8})
+	opt := profile.DefaultOptions()
+	opt.Repeats = 3
+	prog, err := profile.BuildProgram(m.Graph, costmodel.P100(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var convMax, reluMin float64
+	reluMin = 1e18
+	for _, op := range prog.ForwardOps() {
+		switch op.Kind {
+		case "conv":
+			if op.Time > convMax {
+				convMax = op.Time
+			}
+		case "relu":
+			if op.Time < reluMin {
+				reluMin = op.Time
+			}
+		}
+	}
+	if convMax <= reluMin {
+		t.Fatalf("largest conv (%.3g s) not slower than smallest relu (%.3g s)", convMax, reluMin)
+	}
+}
+
+func TestScaleAppliesLinearly(t *testing.T) {
+	m := models.VGG19CIFAR(2, models.Config{WidthDiv: 32})
+	a := profile.DefaultOptions()
+	a.Repeats = 2
+	progA, err := profile.BuildProgram(m.Graph, costmodel.P100(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.Scale = 0.001
+	progB, err := profile.BuildProgram(m.Graph, costmodel.P100(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not exact (separate measurements), but three orders of magnitude
+	// of scale must dominate measurement noise in the totals.
+	if progB.ComputeTime() >= progA.ComputeTime()/10 {
+		t.Fatalf("scale had no effect: %v vs %v", progB.ComputeTime(), progA.ComputeTime())
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"splitcnn/internal/device"
+	"splitcnn/internal/hmms"
+)
+
+// Replay lowers a planned program onto the discrete-event device model
+// (internal/device) — one kernel per op on the compute stream, one
+// memory stream per offloaded TSO ("get an idle memory stream m", §4.3),
+// with the plan's four critical moments realized as event record/wait
+// pairs — and executes it. It is the detailed counterpart of Run: Run
+// computes the step analytically; Replay exercises explicit streams,
+// link arbitration and event synchronization, and additionally reports
+// the time-resolved device memory occupancy of the static plan (when mem
+// is non-nil), validating it against the device capacity.
+func Replay(p *hmms.Program, plan *hmms.OffloadPlan, mem *hmms.MemoryPlan, capacity int64) (*device.Trace, error) {
+	d := device.New(p.Device.LinkBandwidth)
+	d.MemCapacity = capacity
+
+	offloadAt := map[int][]*hmms.OffloadEntry{}
+	syncAfter := map[int][]*hmms.OffloadEntry{}
+	prefetchAt := map[int][]*hmms.OffloadEntry{}
+	syncBefore := map[int][]*hmms.OffloadEntry{}
+	offStream := map[hmms.TSOID]device.StreamID{}
+	pfStream := map[hmms.TSOID]device.StreamID{}
+	for _, e := range plan.Entries {
+		if e.OffloadAtOp < 0 || e.OffloadAtOp >= len(p.Ops) || e.SyncAtOp < e.OffloadAtOp {
+			return nil, fmt.Errorf("sim.Replay: malformed entry %+v", e)
+		}
+		offloadAt[e.OffloadAtOp] = append(offloadAt[e.OffloadAtOp], e)
+		syncAfter[e.SyncAtOp] = append(syncAfter[e.SyncAtOp], e)
+		prefetchAt[e.PrefetchAtOp] = append(prefetchAt[e.PrefetchAtOp], e)
+		syncBefore[e.SyncBeforeOp] = append(syncBefore[e.SyncBeforeOp], e)
+	}
+	// Same-op transfers go out most-urgent-first, exactly as in Run;
+	// memory streams are created lazily in issue order so that FIFO
+	// tie-breaking on the link matches the issue sequence.
+	for _, m := range []map[int][]*hmms.OffloadEntry{offloadAt, prefetchAt} {
+		for _, es := range m {
+			sort.Slice(es, func(a, b int) bool { return es[a].SyncBeforeOp < es[b].SyncBeforeOp })
+		}
+	}
+
+	offloadEv := map[hmms.TSOID]device.EventID{}
+	prefetchEv := map[hmms.TSOID]device.EventID{}
+	kernels := make([]device.Handle, len(p.Ops))
+
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		// Copies planned "at op i" start when the compute stream
+		// *reaches* op i, not at program start: gate each memory stream
+		// on an event recorded on the compute stream just before the
+		// kernel launch.
+		var gate device.EventID
+		if len(offloadAt[i]) > 0 || len(prefetchAt[i]) > 0 {
+			gate = d.Record(device.ComputeStream)
+		}
+		// Start of the offload: right as op i starts executing (the
+		// copy's source was fully written before op i).
+		for _, e := range offloadAt[i] {
+			s := d.NewStream()
+			offStream[e.TSO] = s
+			d.Wait(s, gate)
+			d.Copy(s, fmt.Sprintf("offload-tso%d", e.TSO), e.Bytes)
+			offloadEv[e.TSO] = d.Record(s)
+		}
+		// Start of the prefetch.
+		for _, e := range prefetchAt[i] {
+			s := d.NewStream()
+			pfStream[e.TSO] = s
+			d.Wait(s, gate)
+			d.Copy(s, fmt.Sprintf("prefetch-tso%d", e.TSO), e.Bytes)
+			prefetchEv[e.TSO] = d.Record(s)
+		}
+		// End of the prefetch: compute waits before the consuming op.
+		for _, e := range syncBefore[i] {
+			ev, ok := prefetchEv[e.TSO]
+			if !ok {
+				return nil, fmt.Errorf("sim.Replay: prefetch of TSO %d synchronized before it was issued", e.TSO)
+			}
+			d.Wait(device.ComputeStream, ev)
+		}
+		kernels[i] = d.Launch(op.Name, op.Time)
+		// End of the offload: compute synchronizes right after op i and
+		// the device TSO is freed.
+		for _, e := range syncAfter[i] {
+			d.Wait(device.ComputeStream, offloadEv[e.TSO])
+		}
+	}
+
+	// Attach the static plan's device blocks to kernel lifetimes so the
+	// trace reports time-resolved occupancy.
+	if mem != nil {
+		for _, b := range mem.Blocks {
+			if b.Pool == hmms.PoolHost {
+				continue
+			}
+			start := min(max(b.Start, 0), len(p.Ops)-1)
+			end := min(max(b.End, start), len(p.Ops)-1)
+			d.AllocAt(kernels[start], b.Bytes)
+			d.FreeAt(kernels[end], b.Bytes)
+		}
+	}
+	return d.Run()
+}

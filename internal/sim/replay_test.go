@@ -1,0 +1,114 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+)
+
+// TestReplayMatchesAnalyticRun: the discrete-event device replay and the
+// analytic simulator must agree on step time for every scheduling method
+// — they model the same machine at different granularities.
+func TestReplayMatchesAnalyticRun(t *testing.T) {
+	for _, build := range []func(int) *models.Model{
+		models.VGG19ImageNet, models.ResNet50ImageNet,
+	} {
+		m := build(32)
+		prog, err := hmms.BuildProgram(m.Graph, costmodel.P100())
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+		limit := prog.TheoreticalOffloadLimit()
+		plans := []*hmms.OffloadPlan{hmms.PlanNone()}
+		if p, err := hmms.PlanLayerWise(prog, assign, limit); err == nil {
+			plans = append(plans, p)
+		} else {
+			t.Fatal(err)
+		}
+		if p, err := hmms.PlanOffload(prog, assign, limit); err == nil {
+			plans = append(plans, p)
+		} else {
+			t.Fatal(err)
+		}
+		for _, plan := range plans {
+			analytic, err := sim.Run(prog, plan, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace, err := sim.Replay(prog, plan, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(trace.Total-analytic.TotalTime) / analytic.TotalTime; rel > 1e-6 {
+				t.Fatalf("%s/%s: device replay %.6f s vs analytic %.6f s (rel %.2g)",
+					m.Name, plan.Method, trace.Total, analytic.TotalTime, rel)
+			}
+		}
+	}
+}
+
+// TestReplayOccupancyWithinPlannedPools: the time-resolved occupancy of
+// the static plan never exceeds the planned pool sizes (first-fit may
+// fragment, so pool >= occupancy), and the plan fits the device.
+func TestReplayOccupancyWithinPlannedPools(t *testing.T) {
+	m := models.VGG19ImageNet(32)
+	prog, err := hmms.BuildProgram(m.Graph, costmodel.P100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+	plan, err := hmms.PlanOffload(prog, assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := hmms.PlanMemory(prog, assign, plan, hmms.FirstFit)
+	trace, err := sim.Replay(prog, plan, mem, costmodel.P100().MemCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.PeakMemory <= 0 {
+		t.Fatal("no occupancy recorded")
+	}
+	if trace.PeakMemory > mem.DeviceBytes() {
+		t.Fatalf("occupancy %d exceeds planned pools %d", trace.PeakMemory, mem.DeviceBytes())
+	}
+}
+
+// TestReplayComputeBusy: with the HMMS plan the compute stream stays
+// essentially fully busy; the layer-wise plan leaves it idle during
+// stalls.
+func TestReplayComputeBusy(t *testing.T) {
+	m := models.VGG19ImageNet(32)
+	prog, err := hmms.BuildProgram(m.Graph, costmodel.P100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
+	hm, err := hmms.PlanOffload(prog, assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := hmms.PlanLayerWise(prog, assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := sim.Replay(prog, hm, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := sim.Replay(prog, lw, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.ComputeBusy < 0.995 {
+		t.Fatalf("HMMS compute busy %.3f, want ~1", ht.ComputeBusy)
+	}
+	if lt.ComputeBusy >= ht.ComputeBusy {
+		t.Fatalf("layer-wise busy %.3f not below HMMS %.3f", lt.ComputeBusy, ht.ComputeBusy)
+	}
+}

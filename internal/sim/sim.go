@@ -1,0 +1,146 @@
+// Package sim is step five of HMMS at runtime: it replays a serialized,
+// memory-planned program on a discrete-event model of the paper's
+// testbed — one compute stream executing kernels back-to-back and a
+// host link carrying offload/prefetch copies issued to memory streams.
+// Synchronization points from the offload plan stall the compute stream
+// exactly where the plan put them, which is how the layer-wise baseline
+// loses throughput and HMMS does not (Figures 8 and 9).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"splitcnn/internal/hmms"
+)
+
+// Span is one occupancy interval on a stream, the unit of the
+// nvprof-style timelines of Figure 9.
+type Span struct {
+	Stream string // "compute", "offload", "prefetch"
+	Name   string
+	Start  float64
+	End    float64
+}
+
+// Result reports one simulated training step.
+type Result struct {
+	Method string
+	// TotalTime is the wall-clock of the step; ComputeTime the sum of
+	// kernel times; StallTime their difference (compute blocked on
+	// memory-stream synchronizations).
+	TotalTime, ComputeTime, StallTime float64
+	// ForwardStall/BackwardStall split StallTime by phase (offload-sync
+	// stalls land in forward, prefetch-sync stalls in backward).
+	ForwardStall, BackwardStall float64
+	// OffloadedBytes is the volume moved to the host and back.
+	OffloadedBytes int64
+	// Spans is the stream timeline (compute + copies).
+	Spans []Span
+	// PeakDeviceBytes is the statically planned device footprint.
+	PeakDeviceBytes int64
+	HostBytes       int64
+}
+
+// Throughput returns images/second for the given batch size.
+func (r *Result) Throughput(batch int) float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return float64(batch) / r.TotalTime
+}
+
+// Degradation returns the fractional slowdown relative to the
+// compute-only lower bound.
+func (r *Result) Degradation() float64 {
+	if r.ComputeTime <= 0 {
+		return 0
+	}
+	return r.TotalTime/r.ComputeTime - 1
+}
+
+// Run simulates one training step of program p under the given offload
+// plan and memory plan (mem may be nil to skip footprint accounting).
+func Run(p *hmms.Program, plan *hmms.OffloadPlan, mem *hmms.MemoryPlan) (*Result, error) {
+	res := &Result{Method: plan.Method, ComputeTime: p.ComputeTime(), OffloadedBytes: plan.OffloadedBytes}
+	if mem != nil {
+		res.PeakDeviceBytes = mem.DeviceBytes()
+		res.HostBytes = mem.PoolBytes[hmms.PoolHost]
+	}
+
+	offloadAt := make(map[int][]*hmms.OffloadEntry)
+	syncAfter := make(map[int][]*hmms.OffloadEntry)
+	prefetchAt := make(map[int][]*hmms.OffloadEntry)
+	syncBefore := make(map[int][]*hmms.OffloadEntry)
+	for _, e := range plan.Entries {
+		if e.OffloadAtOp < 0 || e.OffloadAtOp >= len(p.Ops) || e.SyncAtOp < e.OffloadAtOp ||
+			e.PrefetchAtOp < 0 || e.SyncBeforeOp < e.PrefetchAtOp {
+			return nil, fmt.Errorf("sim: malformed offload entry %+v", e)
+		}
+		offloadAt[e.OffloadAtOp] = append(offloadAt[e.OffloadAtOp], e)
+		syncAfter[e.SyncAtOp] = append(syncAfter[e.SyncAtOp], e)
+		prefetchAt[e.PrefetchAtOp] = append(prefetchAt[e.PrefetchAtOp], e)
+		syncBefore[e.SyncBeforeOp] = append(syncBefore[e.SyncBeforeOp], e)
+	}
+
+	// The host link is a single FIFO resource: concurrent copies
+	// serialize (streams only provide synchronization granularity).
+	var t, linkFree float64
+	offloadDone := make(map[hmms.TSOID]float64)
+	prefetchDone := make(map[hmms.TSOID]float64)
+
+	issue := func(e *hmms.OffloadEntry, stream string, done map[hmms.TSOID]float64) {
+		start := max(linkFree, t)
+		end := start + p.Device.CopyTime(e.Bytes)
+		linkFree = end
+		done[e.TSO] = end
+		res.Spans = append(res.Spans, Span{Stream: stream, Name: fmt.Sprint(e.TSO), Start: start, End: end})
+	}
+
+	// Transfers issued at the same op go out most-urgent-first: the
+	// link is FIFO, so a copy needed soonest must not queue behind one
+	// needed later.
+	for _, m := range []map[int][]*hmms.OffloadEntry{offloadAt, prefetchAt} {
+		for _, es := range m {
+			sort.Slice(es, func(a, b int) bool { return es[a].SyncBeforeOp < es[b].SyncBeforeOp })
+		}
+	}
+
+	stall := func(op *hmms.OpExec, d float64) {
+		res.StallTime += d
+		if op.Phase == hmms.Forward {
+			res.ForwardStall += d
+		} else {
+			res.BackwardStall += d
+		}
+	}
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		// Issue transfers scheduled at this op's start.
+		for _, e := range offloadAt[i] {
+			issue(e, "offload", offloadDone)
+		}
+		for _, e := range prefetchAt[i] {
+			issue(e, "prefetch", prefetchDone)
+		}
+		// End-of-prefetch synchronization gates this op's launch.
+		for _, e := range syncBefore[i] {
+			if d := prefetchDone[e.TSO]; d > t {
+				stall(op, d-t)
+				t = d
+			}
+		}
+		start := t
+		t += op.Time
+		res.Spans = append(res.Spans, Span{Stream: "compute", Name: op.Name, Start: start, End: t})
+		// End-of-offload synchronization happens right after the op.
+		for _, e := range syncAfter[i] {
+			if d := offloadDone[e.TSO]; d > t {
+				stall(op, d-t)
+				t = d
+			}
+		}
+	}
+	res.TotalTime = t
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package sim_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+)
+
+// TestHMMSNeverStallsForward: across models and batch sizes, the
+// Algorithm 1 plan must not stall the forward pass — that is its defining
+// guarantee ("offload the most amount of memory without hurting the
+// performance").
+func TestHMMSNeverStallsForward(t *testing.T) {
+	for _, batch := range []int{8, 32, 96} {
+		for _, build := range []func(int) *models.Model{
+			models.VGG19ImageNet, models.ResNet18ImageNet, models.ResNet50ImageNet, models.AlexNetImageNet,
+		} {
+			m := build(batch)
+			res, _, _, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ForwardStall > res.ComputeTime*0.001 {
+				t.Fatalf("%s batch %d: forward stall %.3f ms", m.Name, batch, res.ForwardStall*1e3)
+			}
+		}
+	}
+}
+
+// TestFasterLinkHelpsLayerWise: on a V100 (2x NVLink bandwidth) the
+// layer-wise baseline's stalls shrink relative to the P100 — the link
+// bandwidth is exactly what it is starved of (§2.4).
+func TestFasterLinkHelpsLayerWise(t *testing.T) {
+	m := models.VGG19ImageNet(32)
+	p, _, _, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodLayerWise, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, _, err := sim.PlanAndRun(m.Graph, costmodel.V100(), sim.MethodLayerWise, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.StallTime >= p.StallTime {
+		t.Fatalf("V100 stall %.1f ms not below P100 stall %.1f ms", v.StallTime*1e3, p.StallTime*1e3)
+	}
+}
+
+// TestOffloadLimitMonotonicMemory: lowering the offload cap can only
+// increase (or keep) the planned device general pool.
+func TestOffloadLimitMonotonicMemory(t *testing.T) {
+	m := models.VGG19ImageNet(64)
+	var prev int64 = -1
+	for _, limit := range []float64{1, 0.5, 0.25, 0} {
+		_, _, mem, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodHMMS, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := mem.DeviceBytes()
+		if prev >= 0 && cur < prev {
+			t.Fatalf("device bytes decreased when offloading less: %d -> %d at limit %v", prev, cur, limit)
+		}
+		prev = cur
+	}
+}
+
+// TestZeroLimitEqualsBaseline: a zero offload cap must reproduce the
+// baseline plan exactly.
+func TestZeroLimitEqualsBaseline(t *testing.T) {
+	m := models.ResNet18ImageNet(16)
+	base, _, baseMem, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodNone, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, _, zeroMem, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodHMMS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.TotalTime != base.TotalTime || zero.OffloadedBytes != 0 {
+		t.Fatal("zero-limit HMMS differs from baseline timing")
+	}
+	if zeroMem.DeviceBytes() != baseMem.DeviceBytes() {
+		t.Fatal("zero-limit HMMS differs from baseline memory")
+	}
+}
+
+// TestSimDeterminism: planning and simulation are pure functions of the
+// graph and device.
+func TestSimDeterminism(t *testing.T) {
+	m := models.ResNet50ImageNet(16)
+	a, _, am, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, bm, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime || am.DeviceBytes() != bm.DeviceBytes() {
+		t.Fatal("simulation not deterministic")
+	}
+}

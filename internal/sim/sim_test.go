@@ -1,0 +1,162 @@
+package sim_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+)
+
+func TestBaselineHasNoStall(t *testing.T) {
+	m := models.VGG19ImageNet(8)
+	res, prog, mem, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodNone, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallTime != 0 {
+		t.Fatalf("baseline stall %v", res.StallTime)
+	}
+	if res.TotalTime != res.ComputeTime {
+		t.Fatalf("baseline total %v != compute %v", res.TotalTime, res.ComputeTime)
+	}
+	if res.TotalTime != prog.ComputeTime() {
+		t.Fatal("result/program compute time mismatch")
+	}
+	if mem.PoolBytes[hmms.PoolHost] != 0 {
+		t.Fatal("baseline uses host memory")
+	}
+	if res.Throughput(8) <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}
+
+// TestFigure8Ordering is the §6.2 headline: baseline <= HMMS << layer-
+// wise in step time, with HMMS degradation under a few percent and
+// layer-wise degradation several times larger, for both VGG-19 and
+// ResNet-50.
+func TestFigure8Ordering(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    *models.Model
+	}{
+		{"vgg19", models.VGG19ImageNet(16)},
+		{"resnet50", models.ResNet50ImageNet(16)},
+	} {
+		base, _, _, err := sim.PlanAndRun(tc.m.Graph, costmodel.P100(), sim.MethodNone, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lw, _, _, err := sim.PlanAndRun(tc.m.Graph, costmodel.P100(), sim.MethodLayerWise, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm, _, _, err := sim.PlanAndRun(tc.m.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hm.TotalTime < base.TotalTime {
+			t.Fatalf("%s: HMMS faster than compute-only baseline", tc.name)
+		}
+		if hm.Degradation() > 0.06 {
+			t.Fatalf("%s: HMMS degradation %.1f%%, want < 6%%", tc.name, hm.Degradation()*100)
+		}
+		if lw.Degradation() < 2*hm.Degradation() {
+			t.Fatalf("%s: layer-wise %.1f%% should be well above HMMS %.1f%%",
+				tc.name, lw.Degradation()*100, hm.Degradation()*100)
+		}
+		if hm.OffloadedBytes < lw.OffloadedBytes {
+			t.Fatalf("%s: HMMS offloaded less (%d) than layer-wise (%d)",
+				tc.name, hm.OffloadedBytes, lw.OffloadedBytes)
+		}
+	}
+}
+
+func TestTimelineSpans(t *testing.T) {
+	m := models.VGG19ImageNet(8)
+	res, prog, _, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compute, copies int
+	for _, s := range res.Spans {
+		if s.End < s.Start {
+			t.Fatalf("span %q ends before it starts", s.Name)
+		}
+		switch s.Stream {
+		case "compute":
+			compute++
+		case "offload", "prefetch":
+			copies++
+		default:
+			t.Fatalf("unknown stream %q", s.Stream)
+		}
+	}
+	if compute != len(prog.Ops) {
+		t.Fatalf("compute spans %d, want %d", compute, len(prog.Ops))
+	}
+	if copies == 0 {
+		t.Fatal("no copy spans despite offloading")
+	}
+	// Compute spans must be contiguous and non-overlapping in order.
+	var last float64
+	for _, s := range res.Spans {
+		if s.Stream != "compute" {
+			continue
+		}
+		if s.Start < last {
+			t.Fatalf("compute span %q starts before previous ends", s.Name)
+		}
+		last = s.End
+	}
+}
+
+// TestSplitReducesDeviceMemory: at the same batch size, Split-CNN+HMMS
+// plans less device memory than the unsplit baseline (the Figure 10
+// mechanism), at no meaningful throughput cost.
+func TestSplitReducesDeviceMemory(t *testing.T) {
+	batch := 64
+	m := models.VGG19ImageNet(batch)
+	base, _, baseMem, err := sim.PlanAndRun(m.Graph, costmodel.P100(), sim.MethodNone, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := core.Split(m.Graph, core.Config{Depth: 0.75, NH: 2, NW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _, spMem, err := sim.PlanAndRun(split.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spMem.DeviceBytes() >= baseMem.DeviceBytes()*2/3 {
+		t.Fatalf("split+HMMS device bytes %d not well below baseline %d",
+			spMem.DeviceBytes(), baseMem.DeviceBytes())
+	}
+	if sp.Degradation() > 0.08 {
+		t.Fatalf("split+HMMS degradation %.1f%%", sp.Degradation()*100)
+	}
+	_ = base
+}
+
+func TestRunRejectsMalformedEntries(t *testing.T) {
+	m := models.VGG19ImageNet(4)
+	prog, err := hmms.BuildProgram(m.Graph, costmodel.P100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &hmms.OffloadPlan{Method: "bad", Entries: []*hmms.OffloadEntry{
+		{TSO: 0, OffloadAtOp: 5, SyncAtOp: 2, PrefetchAtOp: 10, SyncBeforeOp: 12, Bytes: 4},
+	}}
+	if _, err := sim.Run(prog, bad, nil); err == nil {
+		t.Fatal("malformed plan accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if sim.MethodNone.String() != "baseline" || sim.MethodLayerWise.String() != "layer-wise" || sim.MethodHMMS.String() != "hmms" {
+		t.Fatal("method names changed")
+	}
+}

@@ -1,0 +1,200 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution: kernel size, stride, and
+// asymmetric padding. Dilation and groups are intentionally out of scope
+// (the paper's models use neither).
+type ConvParams struct {
+	KH, KW int
+	SH, SW int
+	Pad    Pad2D
+}
+
+// OutSize returns the spatial output size of a convolution/pooling
+// window operation over an input of height h and width w. The division
+// floors (not truncates toward zero), so a window larger than the padded
+// input correctly yields a non-positive size rather than 1.
+func (p ConvParams) OutSize(h, w int) (oh, ow int) {
+	oh = floorDiv(h+p.Pad.Top+p.Pad.Bottom-p.KH, p.SH) + 1
+	ow = floorDiv(w+p.Pad.Left+p.Pad.Right-p.KW, p.SW) + 1
+	return oh, ow
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func (p ConvParams) check(x *Tensor) (n, c, h, w, oh, ow int) {
+	n, c, h, w = x.shape.N(), x.shape.C(), x.shape.H(), x.shape.W()
+	oh, ow = p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv %+v over %v yields non-positive output (%d,%d)", p, x.shape, oh, ow))
+	}
+	return n, c, h, w, oh, ow
+}
+
+// Im2Col lowers the convolution windows of x into a matrix of shape
+// [C*KH*KW, N*OH*OW] so that convolution becomes a matrix multiply.
+// Out-of-bounds (padding) positions contribute zeros.
+func Im2Col(x *Tensor, p ConvParams) *Tensor {
+	n, c, h, w, oh, ow := p.check(x)
+	col := New(c*p.KH*p.KW, n*oh*ow)
+	cols := n * oh * ow
+	cd := col.data
+	xd := x.data
+	parallelFor(c*p.KH*p.KW, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			ch := row / (p.KH * p.KW)
+			rem := row % (p.KH * p.KW)
+			ky, kx := rem/p.KW, rem%p.KW
+			dst := cd[row*cols : (row+1)*cols]
+			for b := 0; b < n; b++ {
+				src := xd[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+				base := b * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*p.SH - p.Pad.Top + ky
+					drow := dst[base+oy*ow : base+(oy+1)*ow]
+					if iy < 0 || iy >= h {
+						clear(drow)
+						continue
+					}
+					srow := src[iy*w : (iy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*p.SW - p.Pad.Left + kx
+						if ix < 0 || ix >= w {
+							drow[ox] = 0
+						} else {
+							drow[ox] = srow[ix]
+						}
+					}
+				}
+			}
+		}
+	})
+	return col
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulates) a
+// [C*KH*KW, N*OH*OW] matrix back into an [N,C,H,W] tensor.
+func Col2Im(col *Tensor, p ConvParams, n, c, h, w int) *Tensor {
+	oh, ow := p.OutSize(h, w)
+	cols := n * oh * ow
+	if !col.shape.Equal(Shape{c * p.KH * p.KW, cols}) {
+		panic(fmt.Sprintf("tensor.Col2Im: col shape %v does not match %+v over (%d,%d,%d,%d)", col.shape, p, n, c, h, w))
+	}
+	out := New(n, c, h, w)
+	cd, od := col.data, out.data
+	// Parallelize over channels: each channel's scatter touches a
+	// disjoint region of the output.
+	parallelFor(c, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			for ky := 0; ky < p.KH; ky++ {
+				for kx := 0; kx < p.KW; kx++ {
+					row := (ch*p.KH+ky)*p.KW + kx
+					src := cd[row*cols : (row+1)*cols]
+					for b := 0; b < n; b++ {
+						dst := od[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+						base := b * oh * ow
+						for oy := 0; oy < oh; oy++ {
+							iy := oy*p.SH - p.Pad.Top + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							srow := src[base+oy*ow : base+(oy+1)*ow]
+							drow := dst[iy*w : (iy+1)*w]
+							for ox := 0; ox < ow; ox++ {
+								ix := ox*p.SW - p.Pad.Left + kx
+								if ix >= 0 && ix < w {
+									drow[ix] += srow[ox]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Conv2D computes a 2-D convolution. x is [N,Cin,H,W], weight is
+// [Cout,Cin,KH,KW], bias (may be nil) is [Cout]; the result is
+// [N,Cout,OH,OW]. Internally it lowers to Im2Col + MatMul, the same
+// algorithmic shape cuDNN's IMPLICIT_GEMM uses.
+func Conv2D(x, weight, bias *Tensor, p ConvParams) *Tensor {
+	n, cin, _, _, oh, ow := p.check(x)
+	cout := weight.shape[0]
+	if !weight.shape.Equal(Shape{cout, cin, p.KH, p.KW}) {
+		panic(fmt.Sprintf("tensor.Conv2D: weight %v incompatible with input %v and %+v", weight.shape, x.shape, p))
+	}
+	col := Im2Col(x, p)
+	wmat := weight.Reshape(cout, cin*p.KH*p.KW)
+	prod := New(cout, n*oh*ow)
+	MatMul(prod, wmat, col)
+	out := New(n, cout, oh, ow)
+	// prod is [Cout, N*OH*OW]; transpose the leading two logical dims
+	// into NCHW order and add bias.
+	hw := oh * ow
+	pd, od := prod.data, out.data
+	parallelFor(n*cout, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b, co := i/cout, i%cout
+			var bv float32
+			if bias != nil {
+				bv = bias.data[co]
+			}
+			src := pd[co*n*hw+b*hw : co*n*hw+(b+1)*hw]
+			dst := od[i*hw : (i+1)*hw]
+			for j := range dst {
+				dst[j] = src[j] + bv
+			}
+		}
+	})
+	return out
+}
+
+// Conv2DBackward computes the gradients of a Conv2D call. gradOut is
+// [N,Cout,OH,OW]. It returns gradX ([N,Cin,H,W]) and accumulates into
+// gradW and gradB (gradB may be nil when the convolution has no bias).
+// needGradX can be false for the first layer to skip the col2im pass.
+func Conv2DBackward(x, weight *Tensor, gradOut *Tensor, p ConvParams, gradW, gradB *Tensor, needGradX bool) *Tensor {
+	n, cin, h, w, oh, ow := p.check(x)
+	cout := weight.shape[0]
+	hw := oh * ow
+	// Reorder gradOut from NCHW to [Cout, N*OH*OW].
+	g := New(cout, n*hw)
+	gd, god := g.data, gradOut.data
+	parallelFor(n*cout, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b, co := i/cout, i%cout
+			copy(gd[co*n*hw+b*hw:co*n*hw+(b+1)*hw], god[i*hw:(i+1)*hw])
+		}
+	})
+	if gradB != nil {
+		for co := 0; co < cout; co++ {
+			var s float64
+			for _, v := range gd[co*n*hw : (co+1)*n*hw] {
+				s += float64(v)
+			}
+			gradB.data[co] += float32(s)
+		}
+	}
+	col := Im2Col(x, p)
+	// gradW += g @ colᵀ  ([Cout, Cin*KH*KW])
+	gw := New(cout, cin*p.KH*p.KW)
+	MatMulBT(gw, g, col)
+	AXPY(gradW.Reshape(cout, cin*p.KH*p.KW), 1, gw)
+	if !needGradX {
+		return nil
+	}
+	// gradCol = weightᵀ @ g, then scatter with Col2Im.
+	wmat := weight.Reshape(cout, cin*p.KH*p.KW)
+	gradCol := New(cin*p.KH*p.KW, n*hw)
+	MatMulAT(gradCol, wmat, g)
+	return Col2Im(gradCol, p, n, cin, h, w)
+}

@@ -1,0 +1,87 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes dst = a @ b for rank-2 tensors: a is [m, k], b is
+// [k, n], dst is [m, n]. Rows of the output are computed in parallel.
+func MatMul(dst, a, b *Tensor) {
+	m, k, n := checkMatMul("MatMul", dst, a, b, false, false)
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := dd[i*n : (i+1)*n]
+			clear(row)
+			arow := ad[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j := range row {
+					row[j] += av * brow[j]
+				}
+			}
+		}
+	})
+}
+
+// MatMulAT computes dst = aᵀ @ b: a is [k, m], b is [k, n], dst is [m, n].
+func MatMulAT(dst, a, b *Tensor) {
+	m, k, n := checkMatMul("MatMulAT", dst, a, b, true, false)
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := dd[i*n : (i+1)*n]
+			clear(row)
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j := range row {
+					row[j] += av * brow[j]
+				}
+			}
+		}
+	})
+}
+
+// MatMulBT computes dst = a @ bᵀ: a is [m, k], b is [n, k], dst is [m, n].
+func MatMulBT(dst, a, b *Tensor) {
+	m, k, n := checkMatMul("MatMulBT", dst, a, b, false, true)
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			row := dd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var acc float32
+				for p := range arow {
+					acc += arow[p] * brow[p]
+				}
+				row[j] = acc
+			}
+		}
+	})
+}
+
+func checkMatMul(op string, dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(dst.shape) != 2 {
+		panic(fmt.Sprintf("tensor.%s: want rank-2 tensors", op))
+	}
+	am, ak := a.shape[0], a.shape[1]
+	if transA {
+		am, ak = ak, am
+	}
+	bk, bn := b.shape[0], b.shape[1]
+	if transB {
+		bk, bn = bn, bk
+	}
+	if ak != bk || dst.shape[0] != am || dst.shape[1] != bn {
+		panic(fmt.Sprintf("tensor.%s: incompatible shapes a=%v b=%v dst=%v", op, a.shape, b.shape, dst.shape))
+	}
+	return am, ak, bn
+}

@@ -1,0 +1,39 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum amount of work (in "items") below
+// which kernels run serially; goroutine fan-out costs more than it saves
+// on tiny tensors.
+const parallelThreshold = 1 << 12
+
+// parallelFor splits [0, n) into contiguous chunks and runs body on each
+// chunk concurrently. body receives [lo, hi) bounds. It is used by the
+// heavier kernels (matmul, im2col, pooling) to use all CPU cores.
+func parallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers == 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

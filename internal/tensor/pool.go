@@ -1,0 +1,140 @@
+package tensor
+
+import "math"
+
+// MaxPool2D computes a max pooling over x with the given window
+// parameters. Padded positions are treated as -inf (they never win),
+// matching the convention of cuDNN and the major frameworks. It returns
+// the pooled tensor and the flat argmax index (into each input plane) of
+// every output element, which the backward pass consumes.
+func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int32) {
+	n, c, h, w, oh, ow := p.check(x)
+	out := New(n, c, oh, ow)
+	arg := make([]int32, n*c*oh*ow)
+	od, xd := out.data, x.data
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			src := xd[nc*h*w : (nc+1)*h*w]
+			dst := od[nc*oh*ow : (nc+1)*oh*ow]
+			adst := arg[nc*oh*ow : (nc+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bi := int32(-1)
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.SH - p.Pad.Top + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.SW - p.Pad.Left + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							if v := src[iy*w+ix]; v > best {
+								best, bi = v, int32(iy*w+ix)
+							}
+						}
+					}
+					if bi < 0 {
+						// Window entirely in padding: emit 0.
+						best = 0
+					}
+					dst[oy*ow+ox] = best
+					adst[oy*ow+ox] = bi
+				}
+			}
+		}
+	})
+	return out, arg
+}
+
+// MaxPool2DBackward scatters gradOut back to the argmax positions
+// recorded by MaxPool2D.
+func MaxPool2DBackward(gradOut *Tensor, arg []int32, p ConvParams, n, c, h, w int) *Tensor {
+	oh, ow := p.OutSize(h, w)
+	gradIn := New(n, c, h, w)
+	gd, gid := gradOut.data, gradIn.data
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			src := gd[nc*oh*ow : (nc+1)*oh*ow]
+			asrc := arg[nc*oh*ow : (nc+1)*oh*ow]
+			dst := gid[nc*h*w : (nc+1)*h*w]
+			for i, g := range src {
+				if ai := asrc[i]; ai >= 0 {
+					dst[ai] += g
+				}
+			}
+		}
+	})
+	return gradIn
+}
+
+// AvgPool2D computes average pooling. Padded positions count as zeros
+// and the divisor is the full window size (count_include_pad), keeping
+// the operation linear, which simplifies its adjoint.
+func AvgPool2D(x *Tensor, p ConvParams) *Tensor {
+	n, c, h, w, oh, ow := p.check(x)
+	out := New(n, c, oh, ow)
+	inv := 1 / float32(p.KH*p.KW)
+	od, xd := out.data, x.data
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			src := xd[nc*h*w : (nc+1)*h*w]
+			dst := od[nc*oh*ow : (nc+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.SH - p.Pad.Top + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.SW - p.Pad.Left + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += src[iy*w+ix]
+						}
+					}
+					dst[oy*ow+ox] = sum * inv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// AvgPool2DBackward computes the adjoint of AvgPool2D.
+func AvgPool2DBackward(gradOut *Tensor, p ConvParams, n, c, h, w int) *Tensor {
+	oh, ow := p.OutSize(h, w)
+	gradIn := New(n, c, h, w)
+	inv := 1 / float32(p.KH*p.KW)
+	gd, gid := gradOut.data, gradIn.data
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			src := gd[nc*oh*ow : (nc+1)*oh*ow]
+			dst := gid[nc*h*w : (nc+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := src[oy*ow+ox] * inv
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.SH - p.Pad.Top + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.SW - p.Pad.Left + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dst[iy*w+ix] += g
+						}
+					}
+				}
+			}
+		}
+	})
+	return gradIn
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape describes tensor dimensions. Convolutional tensors use NCHW
+// order: [batch, channels, height, width].
+type Shape []int
+
+// Validate reports an error if any dimension is non-positive.
+func (s Shape) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("empty shape")
+	}
+	for i, d := range s {
+		if d <= 0 {
+			return fmt.Errorf("shape %v: dimension %d is %d, want > 0", s, i, d)
+		}
+	}
+	return nil
+}
+
+// Elems returns the number of elements a tensor of this shape holds.
+func (s Shape) Elems() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Bytes returns the float32 storage footprint in bytes.
+func (s Shape) Bytes() int64 { return int64(s.Elems()) * 4 }
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape { return append(Shape(nil), s...) }
+
+// Offset converts a multi-index into a flat row-major offset.
+func (s Shape) Offset(idx ...int) int {
+	if len(idx) != len(s) {
+		panic(fmt.Sprintf("shape %v: got %d indices", s, len(idx)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= s[i] {
+			panic(fmt.Sprintf("shape %v: index %d out of range at dim %d", s, x, i))
+		}
+		off = off*s[i] + x
+	}
+	return off
+}
+
+// String renders the shape as "(n, c, h, w)".
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// NCHW accessors. They panic unless the shape is rank 4.
+
+// N returns the batch dimension of an NCHW shape.
+func (s Shape) N() int { s.need4(); return s[0] }
+
+// C returns the channel dimension of an NCHW shape.
+func (s Shape) C() int { s.need4(); return s[1] }
+
+// H returns the height dimension of an NCHW shape.
+func (s Shape) H() int { s.need4(); return s[2] }
+
+// W returns the width dimension of an NCHW shape.
+func (s Shape) W() int { s.need4(); return s[3] }
+
+func (s Shape) need4() {
+	if len(s) != 4 {
+		panic(fmt.Sprintf("shape %v: want rank 4 (NCHW)", s))
+	}
+}

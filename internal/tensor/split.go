@@ -1,0 +1,152 @@
+package tensor
+
+import "fmt"
+
+// Dim identifies a spatial dimension of an NCHW tensor.
+type Dim int
+
+// Spatial dimensions of an NCHW tensor.
+const (
+	DimH Dim = 2
+	DimW Dim = 3
+)
+
+// String names the dimension.
+func (d Dim) String() string {
+	switch d {
+	case DimH:
+		return "H"
+	case DimW:
+		return "W"
+	}
+	return fmt.Sprintf("Dim(%d)", int(d))
+}
+
+// SplitSpatial partitions x along spatial dimension d at the given start
+// indices, mirroring the paper's Split_D(T, (s_0, ..., s_{N-1})) where
+// s_i is the index of the first element of the i-th part. starts[0] must
+// be 0 and starts must be strictly increasing and within the dimension.
+func SplitSpatial(x *Tensor, d Dim, starts []int) []*Tensor {
+	n, c, h, w := x.shape.N(), x.shape.C(), x.shape.H(), x.shape.W()
+	size := h
+	if d == DimW {
+		size = w
+	}
+	if err := ValidateStarts(starts, size); err != nil {
+		panic(fmt.Sprintf("tensor.SplitSpatial: %v", err))
+	}
+	parts := make([]*Tensor, len(starts))
+	for i, s := range starts {
+		end := size
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		if d == DimH {
+			parts[i] = sliceH(x, n, c, h, w, s, end)
+		} else {
+			parts[i] = sliceW(x, n, c, h, w, s, end)
+		}
+	}
+	return parts
+}
+
+// ValidateStarts checks a split-start vector against a dimension size.
+func ValidateStarts(starts []int, size int) error {
+	if len(starts) == 0 {
+		return fmt.Errorf("empty split")
+	}
+	if starts[0] != 0 {
+		return fmt.Errorf("split must start at 0, got %d", starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			return fmt.Errorf("split starts must be strictly increasing: %v", starts)
+		}
+	}
+	if starts[len(starts)-1] >= size {
+		return fmt.Errorf("split start %d out of range for size %d", starts[len(starts)-1], size)
+	}
+	return nil
+}
+
+func sliceH(x *Tensor, n, c, h, w, s, e int) *Tensor {
+	out := New(n, c, e-s, w)
+	ph := e - s
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			src := x.data[nc*h*w : (nc+1)*h*w]
+			dst := out.data[nc*ph*w : (nc+1)*ph*w]
+			copy(dst, src[s*w:e*w])
+		}
+	})
+	return out
+}
+
+func sliceW(x *Tensor, n, c, h, w, s, e int) *Tensor {
+	pw := e - s
+	out := New(n, c, h, pw)
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			src := x.data[nc*h*w : (nc+1)*h*w]
+			dst := out.data[nc*h*pw : (nc+1)*h*pw]
+			for y := 0; y < h; y++ {
+				copy(dst[y*pw:(y+1)*pw], src[y*w+s:y*w+e])
+			}
+		}
+	})
+	return out
+}
+
+// ConcatSpatial concatenates parts along spatial dimension d, the
+// paper's [T_0, ..., T_n]_D. All parts must agree on every other
+// dimension.
+func ConcatSpatial(parts []*Tensor, d Dim) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor.ConcatSpatial: no parts")
+	}
+	n, c := parts[0].shape.N(), parts[0].shape.C()
+	h, w := parts[0].shape.H(), parts[0].shape.W()
+	total := 0
+	for _, p := range parts {
+		if p.shape.N() != n || p.shape.C() != c {
+			panic(fmt.Sprintf("tensor.ConcatSpatial: N/C mismatch %v vs %v", p.shape, parts[0].shape))
+		}
+		switch d {
+		case DimH:
+			if p.shape.W() != w {
+				panic(fmt.Sprintf("tensor.ConcatSpatial: W mismatch %v vs %v", p.shape, parts[0].shape))
+			}
+			total += p.shape.H()
+		case DimW:
+			if p.shape.H() != h {
+				panic(fmt.Sprintf("tensor.ConcatSpatial: H mismatch %v vs %v", p.shape, parts[0].shape))
+			}
+			total += p.shape.W()
+		}
+	}
+	var out *Tensor
+	if d == DimH {
+		out = New(n, c, total, w)
+		off := 0
+		for _, p := range parts {
+			ph := p.shape.H()
+			for nc := 0; nc < n*c; nc++ {
+				copy(out.data[nc*total*w+off*w:nc*total*w+(off+ph)*w], p.data[nc*ph*w:(nc+1)*ph*w])
+			}
+			off += ph
+		}
+	} else {
+		out = New(n, c, h, total)
+		off := 0
+		for _, p := range parts {
+			pw := p.shape.W()
+			for nc := 0; nc < n*c; nc++ {
+				for y := 0; y < h; y++ {
+					copy(out.data[nc*h*total+y*total+off:nc*h*total+y*total+off+pw], p.data[nc*h*pw+y*pw:nc*h*pw+(y+1)*pw])
+				}
+			}
+			off += pw
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package tensor implements dense float32 tensors in row-major (NCHW)
+// layout together with the numerical kernels required to train
+// convolutional neural networks on the CPU: elementwise arithmetic,
+// matrix multiplication, im2col-based convolution, pooling, padding,
+// and the spatial split/concat primitives Split-CNN is built on.
+//
+// Tensors are deliberately simple: a shape and a flat backing slice.
+// Views are not supported; every operation either writes into a caller
+// supplied destination of the right shape or allocates a fresh tensor.
+// That keeps aliasing reasoning trivial, which matters because the
+// memory-planning layers of this repository (internal/hmms) do their own
+// storage aliasing on top.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense, row-major float32 tensor.
+type Tensor struct {
+	shape Shape
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(dims ...int) *Tensor {
+	s := Shape(append([]int(nil), dims...))
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("tensor.New: %v", err))
+	}
+	return &Tensor{shape: s, data: make([]float32, s.Elems())}
+}
+
+// FromSlice returns a tensor wrapping a copy of data, which must have
+// exactly shape.Elems() elements.
+func FromSlice(data []float32, dims ...int) *Tensor {
+	t := New(dims...)
+	if len(data) != len(t.data) {
+		panic(fmt.Sprintf("tensor.FromSlice: %d elements for shape %v (want %d)", len(data), t.shape, len(t.data)))
+	}
+	copy(t.data, data)
+	return t
+}
+
+// Shape returns the tensor's shape. The returned slice must not be mutated.
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// Data returns the backing slice. Mutations are visible to the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Elems returns the number of elements.
+func (t *Tensor) Elems() int { return len(t.data) }
+
+// Bytes returns the storage footprint in bytes (4 bytes per element).
+func (t *Tensor) Bytes() int64 { return int64(len(t.data)) * 4 }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: append(Shape(nil), t.shape...), data: make([]float32, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal size.
+func (t *Tensor) Reshape(dims ...int) *Tensor {
+	s := Shape(append([]int(nil), dims...))
+	if s.Elems() != len(t.data) {
+		panic(fmt.Sprintf("tensor.Reshape: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), s, s.Elems()))
+	}
+	return &Tensor{shape: s, data: t.data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.shape.Offset(idx...)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.shape.Offset(idx...)] = v }
+
+// Zero overwrites every element with 0.
+func (t *Tensor) Zero() {
+	clear(t.data)
+}
+
+// Fill overwrites every element with v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal element counts.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(src.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor.CopyFrom: size mismatch %v vs %v", t.shape, src.shape))
+	}
+	copy(t.data, src.data)
+}
+
+// RandNormal fills t with N(0, stddev^2) samples from rng.
+func (t *Tensor) RandNormal(rng *rand.Rand, stddev float64) {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64() * stddev)
+	}
+}
+
+// RandUniform fills t with Uniform[lo, hi) samples from rng.
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// String renders a compact description (shape plus a few leading values).
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.shape)
+	n := min(len(t.data), 8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.data[i])
+	}
+	if len(t.data) > n {
+		b.WriteString(", ...")
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// a and b, which must have the same number of elements. It is the
+// workhorse of the numerical equivalence tests in this repository.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor.MaxAbsDiff: size mismatch %v vs %v", a.shape, b.shape))
+	}
+	var m float64
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements in float64 precision.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// ArgmaxRow returns, for a [rows, cols] tensor, the argmax of each row.
+func ArgmaxRow(t *Tensor) []int {
+	if len(t.shape) != 2 {
+		panic("tensor.ArgmaxRow: want rank-2 tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		best, bi := float32(math.Inf(-1)), 0
+		row := t.data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			if v > best {
+				best, bi = v, c
+			}
+		}
+		out[r] = bi
+	}
+	return out
+}

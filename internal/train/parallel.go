@@ -1,0 +1,105 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"splitcnn/internal/data"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/tensor"
+)
+
+// DataParallel trains one model graph across W concurrent worker
+// replicas, mirroring the paper's experimental platform ("global batch
+// sizes ... sum of local batch sizes across 4 GPUs within one machine"):
+// each worker runs forward/backward on its shard of the global minibatch
+// against shared parameter values, the per-worker gradients are
+// all-reduced (summed), and a single optimizer step is applied. Workers
+// here are goroutines standing in for the four P100s.
+type DataParallel struct {
+	// Workers is the replica count (the paper uses 4).
+	Workers int
+	// Graph is the per-worker computation graph; its input batch
+	// dimension is the LOCAL batch size.
+	Graph *graph.Graph
+	// Store owns the master parameters.
+	Store *graph.ParamStore
+
+	replicas []*graph.ParamStore
+	execs    []*graph.Executor
+}
+
+// NewDataParallel validates and prepares the worker pool.
+func NewDataParallel(g *graph.Graph, store *graph.ParamStore, workers int) (*DataParallel, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("train: want >= 1 workers, got %d", workers)
+	}
+	dp := &DataParallel{Workers: workers, Graph: g, Store: store}
+	for w := 0; w < workers; w++ {
+		rep := store.Replica()
+		ex, err := graph.NewExecutor(g, rep)
+		if err != nil {
+			return nil, err
+		}
+		dp.replicas = append(dp.replicas, rep)
+		dp.execs = append(dp.execs, ex)
+	}
+	return dp, nil
+}
+
+// GlobalBatch returns the global batch size (local batch × workers).
+func (dp *DataParallel) GlobalBatch() int {
+	return dp.Graph.FindNode("image").Shape.N() * dp.Workers
+}
+
+// Step runs one synchronous data-parallel step on a global minibatch:
+// shard, forward/backward in parallel, all-reduce gradients into the
+// master store, and return the mean loss. The caller applies the
+// optimizer afterwards.
+func (dp *DataParallel) Step(ds *data.Dataset, indices []int) (float64, error) {
+	local := dp.Graph.FindNode("image").Shape.N()
+	if len(indices) != local*dp.Workers {
+		return 0, fmt.Errorf("train: global batch %d != %d workers x %d local", len(indices), dp.Workers, local)
+	}
+	losses := make([]float64, dp.Workers)
+	errs := make([]error, dp.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < dp.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := indices[w*local : (w+1)*local]
+			x, labels := ds.Batch(true, shard)
+			dp.replicas[w].ZeroGrads()
+			outs, err := dp.execs[w].Forward(graph.Feeds{"image": x, "labels": labels})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			losses[w] = float64(outs[0].Data()[0])
+			errs[w] = dp.execs[w].Backward()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	// All-reduce: sum worker gradients into the master store, scaled so
+	// the update matches a single pass over the global batch (each
+	// worker's mean-loss gradient covers 1/W of the samples).
+	dp.Store.ZeroGrads()
+	scale := float32(1) / float32(dp.Workers)
+	for _, p := range dp.Store.All() {
+		dst := p.Grad
+		for _, rep := range dp.replicas {
+			tensor.AXPY(dst, scale, rep.Lookup(p.Name).Grad)
+		}
+	}
+	var mean float64
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float64(dp.Workers), nil
+}

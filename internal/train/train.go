@@ -1,0 +1,301 @@
+// Package train runs real CPU training of (split or unsplit) models for
+// the accuracy experiments of §5: SGD with momentum and weight decay, a
+// step learning-rate schedule, per-minibatch stochastic re-splitting
+// (§3.3), and test-error evaluation — on the unsplit network for
+// Stochastic Split-CNN, matching the paper's deployment story.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/data"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/models"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with momentum and (decoupled from
+// BN/bias parameters) L2 weight decay.
+type SGD struct {
+	LR, Momentum, WeightDecay float64
+}
+
+// Step applies one update to every parameter in the store.
+func (s *SGD) Step(store *graph.ParamStore) {
+	lr := float32(s.LR)
+	mu := float32(s.Momentum)
+	wd := float32(s.WeightDecay)
+	for _, p := range store.All() {
+		if p.Frozen {
+			continue
+		}
+		g, v, w := p.Grad.Data(), p.Velocity.Data(), p.Value.Data()
+		decay := wd
+		if p.NoDecay {
+			decay = 0
+		}
+		for i := range w {
+			gi := g[i] + decay*w[i]
+			v[i] = mu*v[i] + gi
+			w[i] -= lr * v[i]
+		}
+	}
+}
+
+// Config describes one training run.
+type Config struct {
+	// Arch selects the model ("vgg19", "resnet18", ...).
+	Arch string
+	// Model carries width divisor, BN options etc. Input geometry and
+	// class count are taken from the dataset.
+	Model models.Config
+	// BatchSize is the minibatch size; Epochs the training duration.
+	BatchSize, Epochs int
+	// LR, Momentum, WeightDecay follow the paper's recipes.
+	LR, Momentum, WeightDecay float64
+	// LRDecayEpochs lists epochs at which the rate drops by 10x.
+	LRDecayEpochs []int
+	// Split configures the Split-CNN transformation; a zero Depth or a
+	// 1x1 grid trains the unmodified baseline. Stochastic splitting
+	// resamples boundaries every minibatch.
+	Split core.Config
+	// EvalUnsplit evaluates test error on the original unsplit network
+	// (the SSCNN deployment mode); otherwise evaluation uses the same
+	// (deterministically split) architecture that was trained.
+	EvalUnsplit bool
+	// RecalibrateBN refreshes batch-normalization running statistics by
+	// forward passes through the *unsplit* train-mode graph before each
+	// unsplit evaluation. During stochastic split training the running
+	// estimates accumulate per-patch statistics, which mismatch the
+	// whole-feature-map statistics the unsplit network sees; a short
+	// recalibration pass (standard practice when deploying BN models
+	// under a different execution scheme) removes that artifact.
+	// Defaults on when EvalUnsplit is set.
+	RecalibrateBN *bool
+	Seed          int64
+	// Progress, when non-nil, receives one line per epoch.
+	Progress func(epoch int, trainLoss, testErr float64)
+}
+
+// Result reports a completed run.
+type Result struct {
+	// TestErr is the per-epoch test error (fraction in [0, 1]).
+	TestErr []float64
+	// TrainLoss is the per-epoch mean training loss.
+	TrainLoss []float64
+	// FinalTestErr is TestErr's last entry.
+	FinalTestErr float64
+	// SplitConvs/TotalConvs report the realized splitting depth.
+	SplitConvs, TotalConvs int
+}
+
+// Run trains per cfg on ds and returns learning curves.
+func Run(cfg Config, ds *data.Dataset) (*Result, error) {
+	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("train: batch %d / epochs %d invalid", cfg.BatchSize, cfg.Epochs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	mcfg := cfg.Model
+	mcfg.BatchSize = cfg.BatchSize
+	mcfg.Classes = ds.Cfg.Classes
+	mcfg.InputC, mcfg.InputH, mcfg.InputW = ds.Cfg.C, ds.Cfg.H, ds.Cfg.W
+	base, err := models.Build(cfg.Arch, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	store := graph.NewParamStore()
+	store.InitFromGraph(base.Graph, rng, nn.KaimingInit)
+
+	split := cfg.Split
+	if split.NH == 0 {
+		split.NH = 1
+	}
+	if split.NW == 0 {
+		split.NW = 1
+	}
+	splitting := split.Depth > 0 && split.NH*split.NW > 1
+	if split.Stochastic && split.Rng == nil {
+		split.Rng = rng
+	}
+
+	res := &Result{TotalConvs: base.ConvCount()}
+
+	// For deterministic splits the graph is fixed; stochastic splits
+	// rebuild per minibatch.
+	var trainGraph *graph.Graph
+	buildTrain := func() (*graph.Graph, error) {
+		if !splitting {
+			return base.Graph, nil
+		}
+		sr, err := core.Split(base.Graph, split)
+		if err != nil {
+			return nil, err
+		}
+		res.SplitConvs = sr.SplitConvs
+		// New per-patch conv instances may exist, but parameters are
+		// shared by name; nothing new to initialize.
+		store.InitFromGraph(sr.Graph, rng, nn.KaimingInit)
+		return sr.Graph, nil
+	}
+	if !split.Stochastic {
+		if trainGraph, err = buildTrain(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Evaluation graph: eval-mode BN; unsplit for SSCNN, split for SCNN.
+	evalBatch := min(cfg.BatchSize, ds.Cfg.TestN)
+	ecfg := mcfg
+	ecfg.BatchSize = evalBatch
+	ecfg.Eval = true
+	ecfg.BNStates = base.BNStates
+	evalModel, err := models.Build(cfg.Arch, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	evalGraph := evalModel.Graph
+	if splitting && !cfg.EvalUnsplit && !split.Stochastic {
+		esr, err := core.Split(evalModel.Graph, split)
+		if err != nil {
+			return nil, err
+		}
+		evalGraph = esr.Graph
+	}
+	store.InitFromGraph(evalGraph, rng, nn.KaimingInit)
+
+	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay}
+	steps := ds.Cfg.TrainN / cfg.BatchSize
+	if steps == 0 {
+		return nil, fmt.Errorf("train: dataset smaller than one batch")
+	}
+
+	recalibrate := cfg.EvalUnsplit && splitting
+	if cfg.RecalibrateBN != nil {
+		recalibrate = *cfg.RecalibrateBN && splitting
+	}
+	// recalibrateBN refreshes the shared running statistics with
+	// whole-feature-map batches through the unsplit train-mode graph.
+	recalibrateBN := func(perm []int) error {
+		ex, err := graph.NewExecutor(base.Graph, store)
+		if err != nil {
+			return err
+		}
+		passes := min(8, steps)
+		for s := 0; s < passes; s++ {
+			x, labels := ds.Batch(true, perm[s*cfg.BatchSize:(s+1)*cfg.BatchSize])
+			if _, err := ex.Forward(graph.Feeds{"image": x, "labels": labels}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.LR
+		for _, de := range cfg.LRDecayEpochs {
+			if epoch >= de {
+				opt.LR /= 10
+			}
+		}
+		perm := ds.Shuffled(rng)
+		var lossSum float64
+		for s := 0; s < steps; s++ {
+			g := trainGraph
+			if split.Stochastic {
+				if g, err = buildTrain(); err != nil {
+					return nil, err
+				}
+			}
+			ex, err := graph.NewExecutor(g, store)
+			if err != nil {
+				return nil, err
+			}
+			x, labels := ds.Batch(true, perm[s*cfg.BatchSize:(s+1)*cfg.BatchSize])
+			store.ZeroGrads()
+			outs, err := ex.Forward(graph.Feeds{"image": x, "labels": labels})
+			if err != nil {
+				return nil, err
+			}
+			lossSum += float64(outs[0].Data()[0])
+			if err := ex.Backward(); err != nil {
+				return nil, err
+			}
+			opt.Step(store)
+		}
+		if recalibrate && cfg.EvalUnsplit {
+			if err := recalibrateBN(perm); err != nil {
+				return nil, err
+			}
+		}
+		testErr, err := Evaluate(evalGraph, evalModel, store, ds)
+		if err != nil {
+			return nil, err
+		}
+		res.TrainLoss = append(res.TrainLoss, lossSum/float64(steps))
+		res.TestErr = append(res.TestErr, testErr)
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, lossSum/float64(steps), testErr)
+		}
+	}
+	res.FinalTestErr = res.TestErr[len(res.TestErr)-1]
+	return res, nil
+}
+
+// Evaluate computes classification error of the model graph (whose
+// logits node must be named like evalModel.Logits) over the test split.
+func Evaluate(g *graph.Graph, m *models.Model, store *graph.ParamStore, ds *data.Dataset) (float64, error) {
+	batch := m.Input.Shape.N()
+	logitsName := m.Logits.Name
+	logitsNode := g.FindNode(logitsName)
+	if logitsNode == nil {
+		// Split graphs may have joined the logits under a ".join" name.
+		if logitsNode = g.FindNode(logitsName + ".join"); logitsNode == nil {
+			return 0, fmt.Errorf("train: logits node %q not found", logitsName)
+		}
+	}
+	// Keep the logits alive past the forward pass: graph outputs are
+	// never released by the executor.
+	keep := false
+	for _, o := range g.Outputs {
+		if o == logitsNode {
+			keep = true
+		}
+	}
+	if !keep {
+		g.SetOutput(append(g.Outputs, logitsNode)...)
+	}
+	wrong, total := 0, 0
+	for off := 0; off+batch <= ds.Cfg.TestN; off += batch {
+		idx := make([]int, batch)
+		for i := range idx {
+			idx[i] = off + i
+		}
+		x, labels := ds.Batch(false, idx)
+		ex, err := graph.NewExecutor(g, store)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := ex.Forward(graph.Feeds{"image": x, "labels": labels}); err != nil {
+			return 0, err
+		}
+		logits := ex.Value(logitsNode)
+		if logits == nil {
+			return 0, fmt.Errorf("train: logits released before evaluation")
+		}
+		pred := tensor.ArgmaxRow(logits)
+		for i, p := range pred {
+			if p != int(labels.Data()[i]) {
+				wrong++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("train: empty test set")
+	}
+	return float64(wrong) / float64(total), nil
+}

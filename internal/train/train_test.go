@@ -1,0 +1,169 @@
+package train_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/data"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/models"
+	"splitcnn/internal/tensor"
+	"splitcnn/internal/train"
+)
+
+func tinyDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	cfg := data.CIFARLike(512, 128)
+	cfg.Noise = 0.3
+	cfg.MaxShift = 2
+	ds, err := data.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func baseCfg() train.Config {
+	return train.Config{
+		Arch:          "vgg19",
+		Model:         models.Config{WidthDiv: 16, BatchNorm: true},
+		BatchSize:     32,
+		Epochs:        3,
+		LR:            0.05,
+		Momentum:      0.9,
+		WeightDecay:   1e-4,
+		LRDecayEpochs: []int{2},
+		Seed:          5,
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	store := graph.NewParamStore()
+	p := store.Get("w", tensor.Shape{2})
+	p.Value.Fill(1)
+	p.Grad.Fill(0.5)
+	q := store.Get("b", tensor.Shape{1})
+	q.NoDecay = true
+	q.Value.Fill(1)
+	q.Grad.Fill(0.5)
+	f := store.Get("frozen", tensor.Shape{1})
+	f.Frozen = true
+	f.Value.Fill(1)
+	f.Grad.Fill(9)
+
+	opt := &train.SGD{LR: 0.1, Momentum: 0, WeightDecay: 0.2}
+	opt.Step(store)
+	// w: g = 0.5 + 0.2*1 = 0.7; w = 1 - 0.07 = 0.93
+	if got := p.Value.At(0); got < 0.9299 || got > 0.9301 {
+		t.Fatalf("decayed param %v, want 0.93", got)
+	}
+	// b: no decay: 1 - 0.05 = 0.95
+	if got := q.Value.At(0); got < 0.9499 || got > 0.9501 {
+		t.Fatalf("no-decay param %v, want 0.95", got)
+	}
+	if f.Value.At(0) != 1 {
+		t.Fatal("frozen param updated")
+	}
+	// Momentum accumulates across steps.
+	opt2 := &train.SGD{LR: 1, Momentum: 0.5}
+	s2 := graph.NewParamStore()
+	m := s2.Get("m", tensor.Shape{1})
+	m.Grad.Fill(1)
+	opt2.Step(s2) // v=1, w=-1
+	opt2.Step(s2) // v=1.5, w=-2.5
+	if got := m.Value.At(0); got != -2.5 {
+		t.Fatalf("momentum update %v, want -2.5", got)
+	}
+}
+
+func TestTrainBaselineLearns(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseCfg()
+	cfg.Epochs = 6
+	cfg.LRDecayEpochs = []int{4}
+	res, err := train.Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TestErr) != 6 || len(res.TrainLoss) != 6 {
+		t.Fatalf("curves %d/%d epochs", len(res.TestErr), len(res.TrainLoss))
+	}
+	if res.TrainLoss[5] >= res.TrainLoss[0] {
+		t.Fatalf("training loss did not drop: %v", res.TrainLoss)
+	}
+	if res.FinalTestErr > 0.6 {
+		t.Fatalf("final test error %.2f: no better than chance", res.FinalTestErr)
+	}
+}
+
+func TestTrainSplitModel(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseCfg()
+	cfg.Split = core.Config{Depth: 0.5, NH: 2, NW: 2}
+	res, err := train.Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitConvs != 8 || res.TotalConvs != 16 {
+		t.Fatalf("split %d/%d convs, want 8/16", res.SplitConvs, res.TotalConvs)
+	}
+	if res.TrainLoss[2] >= res.TrainLoss[0] {
+		t.Fatalf("split model did not learn: %v", res.TrainLoss)
+	}
+}
+
+func TestTrainStochasticEvalsUnsplit(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseCfg()
+	cfg.Epochs = 2
+	cfg.Split = core.Config{Depth: 0.5, NH: 2, NW: 2, Stochastic: true, Omega: 0.2}
+	cfg.EvalUnsplit = true
+	res, err := train.Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[1] >= res.TrainLoss[0]*1.5 {
+		t.Fatalf("stochastic training diverged: %v", res.TrainLoss)
+	}
+	if res.FinalTestErr < 0 || res.FinalTestErr > 1 {
+		t.Fatalf("test error %v out of range", res.FinalTestErr)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseCfg()
+	cfg.BatchSize = 0
+	if _, err := train.Run(cfg, ds); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	cfg = baseCfg()
+	cfg.Arch = "nonsense"
+	if _, err := train.Run(cfg, ds); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+	cfg = baseCfg()
+	cfg.BatchSize = 4096 // bigger than the dataset
+	if _, err := train.Run(cfg, ds); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+// TestTrainDeterminism: identical configs must produce identical curves.
+func TestTrainDeterminism(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseCfg()
+	cfg.Epochs = 1
+	r1, err := train.Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := train.Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TrainLoss[0] != r2.TrainLoss[0] || r1.TestErr[0] != r2.TestErr[0] {
+		t.Fatalf("non-deterministic training: %v/%v vs %v/%v",
+			r1.TrainLoss[0], r1.TestErr[0], r2.TrainLoss[0], r2.TestErr[0])
+	}
+}
