@@ -1,0 +1,36 @@
+# Development targets for the Split-CNN + HMMS reproduction.
+# `make ci` is what a pre-merge check should run.
+
+GO ?= go
+
+.PHONY: build test race vet fmt ci golden trace
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists the offenders) when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: vet fmt build race
+
+# golden regenerates the trace/metrics golden files after an intended
+# change to the cost model, planner, simulator or exporters.
+golden:
+	$(GO) test ./internal/trace -update
+
+# trace is a smoke run of the observability pipeline.
+trace: build
+	$(GO) run ./cmd/splitcnn trace -model alexnet -policy hmms -o /tmp/splitcnn-trace.json -metrics /tmp/splitcnn-metrics.json

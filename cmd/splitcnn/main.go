@@ -13,6 +13,9 @@
 //	splitcnn train     -arch vgg19 -epochs 6 [-depth 0.5 -splits 4
 //	    -stochastic]
 //	    train a scaled-down model on the synthetic CIFAR-like dataset
+//	splitcnn trace     -model alexnet -policy hmms [-replay]
+//	    export a run's stream timeline as Chrome trace_event JSON plus
+//	    a metrics JSON
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"splitcnn/internal/hmms"
 	"splitcnn/internal/models"
 	"splitcnn/internal/sim"
+	"splitcnn/internal/trace"
 	"splitcnn/internal/train"
 )
 
@@ -50,6 +54,8 @@ func main() {
 		err = cmdTransform(os.Args[2:])
 	case "train":
 		err = cmdTrain(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "maxbatch":
 		err = cmdMaxBatch(os.Args[2:])
 	case "help", "-h", "--help":
@@ -74,6 +80,8 @@ subcommands:
   transform         inspect the Split-CNN graph transformation
   maxbatch          search the largest trainable batch on a device
   train             train a scaled-down model on synthetic data
+  trace             export a run's stream timeline (Chrome trace_event
+                    JSON for chrome://tracing) plus a metrics JSON
 `, experiments.IDs())
 }
 
@@ -96,6 +104,7 @@ func cmdExperiment(args []string) error {
 	scale := fs.String("scale", "standard", "experiment scale: quick, standard or full")
 	dev := deviceFlag(fs)
 	seed := fs.Int64("seed", 0, "seed offset for training experiments")
+	traceDir := fs.String("tracedir", "", "write per-run trace/metrics JSON into this directory (fig8, fig9)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,7 +119,7 @@ func cmdExperiment(args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := experiments.Options{Scale: sc, Device: d, Out: os.Stdout, Seed: *seed}
+	opt := experiments.Options{Scale: sc, Device: d, Out: os.Stdout, Seed: *seed, TraceDir: *traceDir}
 	for _, id := range fs.Args() {
 		if err := experiments.Run(id, opt); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
@@ -348,6 +357,8 @@ func cmdTrain(args []string) error {
 	trainN := fs.Int("train", 1024, "training samples")
 	testN := fs.Int("test", 512, "test samples")
 	seed := fs.Int64("seed", 7, "random seed")
+	traceOut := fs.String("trace", "", "write a per-op execution trace (Chrome trace_event JSON) to this file")
+	metricsOut := fs.String("metrics", "", "write trainer metrics JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -363,7 +374,15 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := train.Run(train.Config{
+	var rec *trace.Trace
+	var met *trace.Metrics
+	if *traceOut != "" {
+		rec = trace.New()
+	}
+	if *metricsOut != "" {
+		met = trace.NewMetrics()
+	}
+	cfg := train.Config{
 		Arch:          *arch,
 		Model:         models.Config{WidthDiv: *widthDiv, BatchNorm: true},
 		BatchSize:     *batch,
@@ -378,10 +397,27 @@ func cmdTrain(args []string) error {
 		Progress: func(epoch int, loss, errRate float64) {
 			fmt.Printf("epoch %2d  train loss %.4f  test error %.4f\n", epoch, loss, errRate)
 		},
-	}, ds)
+	}
+	if rec != nil {
+		cfg.Recorder = rec
+	}
+	cfg.Metrics = met
+	res, err := train.Run(cfg, ds)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("final test error: %.4f (split %d/%d convs)\n", res.FinalTestErr, res.SplitConvs, res.TotalConvs)
+	if rec != nil {
+		if err := rec.WriteFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("trace:   %s (%d events)\n", *traceOut, rec.Len())
+	}
+	if met != nil {
+		if err := met.WriteFile(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %s\n", *metricsOut)
+	}
 	return nil
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+	"splitcnn/internal/trace"
+)
+
+// cmdTrace runs a model under a memory policy and exports the resulting
+// stream timeline as Chrome trace_event JSON plus a metrics JSON:
+//
+//	splitcnn trace -model alexnet -policy hmms
+//
+// writes trace.json (open in chrome://tracing or Perfetto) and
+// metrics.json, whose sim.stall_seconds and mem.device_high_water_bytes
+// equal the simulator's and memory planner's numbers exactly.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	model := fs.String("model", "alexnet", "builtin architecture ("+fmt.Sprint(models.Architectures())+") or a model description file")
+	policy := fs.String("policy", "hmms", "memory policy: none, layerwise or hmms")
+	batch := fs.Int("batch", 64, "batch size")
+	doSplit := fs.Bool("split", false, "apply the Split-CNN transformation first")
+	depth := fs.Float64("depth", 0.75, "splitting depth (with -split)")
+	nh := fs.Int("nh", 2, "patch rows (with -split)")
+	nw := fs.Int("nw", 2, "patch cols (with -split)")
+	limit := fs.Float64("limit", -1, "offload cap as a fraction of stashed bytes (negative = theoretical limit)")
+	replay := fs.Bool("replay", false, "trace the discrete-event device replay (one lane per memory stream) instead of the analytic timeline")
+	out := fs.String("o", "trace.json", "trace output file")
+	metricsOut := fs.String("metrics", "metrics.json", "metrics output file")
+	dev := deviceFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := pickDevice(*dev)
+	if err != nil {
+		return err
+	}
+
+	// -model accepts a builtin architecture name first, then a file.
+	modelPath, arch := "", *model
+	builtin := false
+	for _, a := range models.Architectures() {
+		if a == *model {
+			builtin = true
+			break
+		}
+	}
+	if !builtin {
+		if _, statErr := os.Stat(*model); statErr != nil {
+			return fmt.Errorf("trace: -model %q is neither a builtin architecture %v nor a readable file", *model, models.Architectures())
+		}
+		modelPath, arch = *model, ""
+	}
+	m, err := buildModel(modelPath, arch, *batch)
+	if err != nil {
+		return err
+	}
+	g := m.Graph
+	if *doSplit {
+		sr, err := core.Split(g, core.Config{Depth: *depth, NH: *nh, NW: *nw})
+		if err != nil {
+			return err
+		}
+		g = sr.Graph
+	}
+
+	var method sim.Method
+	switch *policy {
+	case "none", "baseline":
+		method = sim.MethodNone
+	case "layerwise":
+		method = sim.MethodLayerWise
+	case "hmms":
+		method = sim.MethodHMMS
+	default:
+		return fmt.Errorf("trace: unknown policy %q (want none, layerwise or hmms)", *policy)
+	}
+
+	prog, plan, mem, err := sim.Plan(g, d, method, *limit)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(prog, plan, mem)
+	if err != nil {
+		return err
+	}
+
+	tr := trace.New()
+	if *replay {
+		if _, err := sim.ReplayTraced(prog, plan, mem, 0, tr); err != nil {
+			return err
+		}
+	} else {
+		res.EmitTrace(tr)
+	}
+	if err := tr.WriteFile(*out); err != nil {
+		return err
+	}
+
+	met := trace.NewMetrics()
+	res.RecordMetrics(met)
+	mem.RecordMetrics(met)
+	met.Counter("prog.ops").Add(int64(len(prog.Ops)))
+	met.Counter("prog.stashed_bytes").Add(prog.StashedBytes())
+	if err := met.WriteFile(*metricsOut); err != nil {
+		return err
+	}
+
+	fmt.Printf("method:     %s\n", res.Method)
+	fmt.Printf("step time:  %.2f ms (compute %.2f ms, stall %.2f ms)\n",
+		res.TotalTime*1e3, res.ComputeTime*1e3, res.StallTime*1e3)
+	fmt.Printf("device:     %.2f GB peak, %.2f GB host pinned\n",
+		float64(mem.DeviceBytes())/1e9, float64(mem.PoolBytes[hmms.PoolHost])/1e9)
+	fmt.Printf("trace:      %s (%d events; open in chrome://tracing)\n", *out, tr.Len())
+	fmt.Printf("metrics:    %s\n", *metricsOut)
+	return nil
+}

@@ -18,6 +18,8 @@ package device
 import (
 	"fmt"
 	"sort"
+
+	"splitcnn/internal/trace"
 )
 
 // StreamID identifies a stream. Stream 0 is always the compute stream.
@@ -57,6 +59,11 @@ type Device struct {
 	// MemCapacity, when positive, bounds device memory; exceeding it
 	// makes Run fail (used to validate static plans).
 	MemCapacity int64
+	// Recorder, when non-nil, receives every retired kernel and copy as
+	// a span at execution time — the live feed behind the Chrome-trace
+	// export of simulated timelines. Stream 0 maps to "compute", memory
+	// streams to "mem<id>", one trace lane per CUDA-style stream.
+	Recorder trace.Recorder
 
 	streams   map[StreamID][]workItem
 	streamIDs []StreamID
@@ -141,6 +148,15 @@ func (d *Device) AllocAt(h Handle, n int64) { d.allocAt[key(h.stream, h.index)] 
 // the item completes.
 func (d *Device) FreeAt(h Handle, n int64) { d.freeAt[key(h.stream, h.index)] += n }
 
+// StreamName renders a stream ID as a trace lane name: "compute" for
+// the compute stream, "mem<id>" for memory streams.
+func StreamName(s StreamID) string {
+	if s == ComputeStream {
+		return "compute"
+	}
+	return fmt.Sprintf("mem%d", int(s))
+}
+
 // Span is one completed item on the timeline.
 type Span struct {
 	Stream StreamID
@@ -160,6 +176,15 @@ type Trace struct {
 	// ComputeBusy is the fraction of Total the compute stream executed
 	// kernels.
 	ComputeBusy float64
+}
+
+// Emit replays the completed timeline into a trace recorder, one lane
+// per stream — the post-hoc counterpart of setting Device.Recorder
+// before Run.
+func (t *Trace) Emit(rec trace.Recorder) {
+	for _, sp := range t.Spans {
+		rec.Span(StreamName(sp.Stream), sp.Label, sp.Start, sp.End)
+	}
 }
 
 // Run executes the event calendar and returns the trace. The algorithm
@@ -191,6 +216,9 @@ func (d *Device) Run() (*Trace, error) {
 	retire := func(s StreamID, start, end float64, it workItem, idx int) {
 		if it.kind == kindKernel || it.kind == kindCopy {
 			tr.Spans = append(tr.Spans, Span{Stream: s, Label: it.label, Start: start, End: end})
+			if d.Recorder != nil {
+				d.Recorder.Span(StreamName(s), it.label, start, end)
+			}
 			if a := d.allocAt[key(s, idx)]; a != 0 {
 				memEvents = append(memEvents, memEvent{start, a})
 			}

@@ -63,6 +63,10 @@ type Options struct {
 	Out    io.Writer
 	// Seed offsets the deterministic seeds of training experiments.
 	Seed int64
+	// TraceDir, when non-empty, makes the simulation-based experiments
+	// (fig8, fig9) write a Chrome trace_event JSON and a metrics JSON
+	// per simulated run into the directory as a side effect.
+	TraceDir string
 }
 
 // DefaultOptions returns Standard scale on the paper's P100 testbed,

@@ -42,9 +42,12 @@ func Fig8(opt Options) ([]Fig8Row, error) {
 	} {
 		var base float64
 		for _, method := range []sim.Method{sim.MethodNone, sim.MethodLayerWise, sim.MethodHMMS} {
-			res, _, _, err := sim.PlanAndRun(mk.m.Graph, opt.Device, method, -1)
+			res, _, mem, err := sim.PlanAndRun(mk.m.Graph, opt.Device, method, -1)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s %s: %w", mk.name, method, err)
+			}
+			if err := opt.exportTrace(fmt.Sprintf("fig8-%s-%s", mk.name, method), res, mem); err != nil {
+				return nil, err
 			}
 			thr := res.Throughput(batch)
 			if method == sim.MethodNone {
@@ -84,8 +87,11 @@ func Fig9(opt Options) ([]Fig9Row, error) {
 	var rows []Fig9Row
 	opt.printf("Figure 9: stream timelines for VGG-19 (batch %d)\n", batch)
 	for _, method := range []sim.Method{sim.MethodNone, sim.MethodLayerWise, sim.MethodHMMS} {
-		res, _, _, err := sim.PlanAndRun(m.Graph, opt.Device, method, -1)
+		res, _, mem, err := sim.PlanAndRun(m.Graph, opt.Device, method, -1)
 		if err != nil {
+			return nil, err
+		}
+		if err := opt.exportTrace(fmt.Sprintf("fig9-vgg19-%s", method), res, mem); err != nil {
 			return nil, err
 		}
 		var computeBusy, linkBusy float64

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/sim"
+	"splitcnn/internal/trace"
+)
+
+// exportTrace writes one simulated run's timeline and metrics into
+// TraceDir as <name>.trace.json / <name>.metrics.json. It is a no-op
+// when TraceDir is empty; mem may be nil.
+func (o *Options) exportTrace(name string, res *sim.Result, mem *hmms.MemoryPlan) error {
+	if o.TraceDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	tr := trace.New()
+	res.EmitTrace(tr)
+	if err := tr.WriteFile(filepath.Join(o.TraceDir, name+".trace.json")); err != nil {
+		return err
+	}
+	m := trace.NewMetrics()
+	res.RecordMetrics(m)
+	if mem != nil {
+		mem.RecordMetrics(m)
+	}
+	return m.WriteFile(filepath.Join(o.TraceDir, name+".metrics.json"))
+}

@@ -2,9 +2,31 @@ package graph
 
 import (
 	"fmt"
+	"time"
 
 	"splitcnn/internal/tensor"
 )
+
+// OpEvent describes one executed operation, delivered to an Executor's
+// Hook: what ran, when (seconds relative to HookBase), for how long,
+// and how many output bytes it produced. It is the measured-CPU
+// counterpart of a simulated kernel span, which is what makes real and
+// simulated timelines diffable in the same trace viewer.
+type OpEvent struct {
+	Name string
+	Kind string
+	// Backward marks gradient-phase execution; trace consumers append
+	// ".bwd" to match the serialized program's op naming.
+	Backward bool
+	// Start and Dur are in seconds; Start is relative to HookBase.
+	Start, Dur float64
+	// OutputBytes is the size of the produced tensor (forward) or the
+	// summed size of produced input gradients (backward).
+	OutputBytes int64
+}
+
+// OpHook receives per-op execution events.
+type OpHook func(OpEvent)
 
 // Executor runs real forward/backward arithmetic for a graph on the CPU.
 // It honors the same liveness discipline the memory planner assumes:
@@ -28,6 +50,14 @@ type Executor struct {
 	// memory pressure used by tests.
 	PeakLiveBytes int64
 	liveBytes     int64
+
+	// Hook, when non-nil, receives one OpEvent per executed op in both
+	// passes. HookBase anchors event timestamps; set it once per
+	// training run so the spans of successive per-step executors land
+	// on one continuous timeline. A zero HookBase is initialized to the
+	// executor's first hooked op.
+	Hook     OpHook
+	HookBase time.Time
 }
 
 // NewExecutor prepares an executor for g resolving parameters in store.
@@ -84,7 +114,15 @@ func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 					return nil, fmt.Errorf("executor: %s reads released value of %s", n, src)
 				}
 			}
+			opStart := e.hookStart()
 			out, stash := n.Op.Forward(in)
+			if e.Hook != nil {
+				e.Hook(OpEvent{
+					Name: n.Name, Kind: n.Op.Kind(),
+					Start: opStart, Dur: e.hookStart() - opStart,
+					OutputBytes: out.Bytes(),
+				})
+			}
 			if !out.Shape().Equal(n.Shape) {
 				return nil, fmt.Errorf("executor: %s produced %v, declared %v", n, out.Shape(), n.Shape)
 			}
@@ -141,6 +179,18 @@ func (e *Executor) keepForBackward(n *Node) bool {
 	return false
 }
 
+// hookStart returns the current hook-relative timestamp in seconds,
+// lazily anchoring HookBase. It returns 0 when no hook is installed.
+func (e *Executor) hookStart() float64 {
+	if e.Hook == nil {
+		return 0
+	}
+	if e.HookBase.IsZero() {
+		e.HookBase = time.Now()
+	}
+	return time.Since(e.HookBase).Seconds()
+}
+
 func (e *Executor) release(n *Node) {
 	if e.vals[n.ID] != nil && n.Kind == KindOp {
 		e.liveBytes -= e.vals[n.ID].Bytes()
@@ -187,7 +237,21 @@ func (e *Executor) Backward() error {
 		if n.Op.NeedsOutput() {
 			out = e.vals[n.ID]
 		}
+		opStart := e.hookStart()
 		gin := n.Op.Backward(gradOut, in, out, e.stashes[n.ID])
+		if e.Hook != nil {
+			var produced int64
+			for _, g := range gin {
+				if g != nil {
+					produced += g.Bytes()
+				}
+			}
+			e.Hook(OpEvent{
+				Name: n.Name, Kind: n.Op.Kind(), Backward: true,
+				Start: opStart, Dur: e.hookStart() - opStart,
+				OutputBytes: produced,
+			})
+		}
 		if len(gin) != len(n.Inputs) {
 			return fmt.Errorf("executor: %s backward returned %d grads for %d inputs", n, len(gin), len(n.Inputs))
 		}

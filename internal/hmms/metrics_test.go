@@ -1,0 +1,70 @@
+package hmms_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+	"splitcnn/internal/trace"
+)
+
+// TestMemPlanMetricsInvariants runs every builtin architecture under
+// every scheduling method and checks the observability layer against
+// the planner itself: the exported high-water-mark gauge must equal the
+// plan's computed peak bit-for-bit, the per-pool live peak can never
+// exceed the planned pool size, and no two simultaneously-live blocks
+// may overlap (the same soundness property TestFuzzFirstFitSoundness
+// checks on random graphs, here on the real models the metrics report).
+func TestMemPlanMetricsInvariants(t *testing.T) {
+	dev := costmodel.P100()
+	for _, arch := range models.Architectures() {
+		m, err := models.Build(arch, models.Config{
+			BatchSize: 4, Classes: 1000, InputC: 3, InputH: 224, InputW: 224,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		for _, method := range []sim.Method{sim.MethodNone, sim.MethodLayerWise, sim.MethodHMMS} {
+			_, _, mem, err := sim.Plan(m.Graph, dev, method, -1)
+			if err != nil {
+				t.Fatalf("%s %s: %v", arch, method, err)
+			}
+
+			reg := trace.NewMetrics()
+			mem.RecordMetrics(reg)
+			if got, want := reg.Gauge("mem.device_high_water_bytes").Value(), float64(mem.DeviceBytes()); got != want {
+				t.Errorf("%s %s: high-water gauge %v != plan peak %v", arch, method, got, want)
+			}
+			if got, want := reg.Counter("mem.blocks").Value(), int64(len(mem.Blocks)); got != want {
+				t.Errorf("%s %s: blocks counter %v != %v", arch, method, got, want)
+			}
+
+			for _, pool := range []hmms.Pool{hmms.PoolHost, hmms.PoolDeviceParam, hmms.PoolDeviceGeneral} {
+				if live, planned := mem.MaxLiveBytes(pool), mem.PoolBytes[pool]; live > planned {
+					t.Errorf("%s %s pool %v: live peak %d exceeds planned %d", arch, method, pool, live, planned)
+				}
+				if frag := mem.Fragmentation(pool); frag < 0 || frag > 1 {
+					t.Errorf("%s %s pool %v: fragmentation %v outside [0, 1]", arch, method, pool, frag)
+				}
+			}
+
+			byPool := map[hmms.Pool][]*hmms.Block{}
+			for _, b := range mem.Blocks {
+				byPool[b.Pool] = append(byPool[b.Pool], b)
+			}
+			for pool, blocks := range byPool {
+				for i := 0; i < len(blocks); i++ {
+					for j := i + 1; j < len(blocks); j++ {
+						x, y := blocks[i], blocks[j]
+						if x.Start <= y.End && y.Start <= x.End &&
+							x.Offset < y.Offset+y.Bytes && y.Offset < x.Offset+x.Bytes {
+							t.Fatalf("%s %s pool %v: live blocks %q and %q overlap", arch, method, pool, x.Name, y.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}

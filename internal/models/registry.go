@@ -5,7 +5,14 @@ import "fmt"
 // Build constructs a model by architecture name: "alexnet", "vgg19",
 // "resnet18" or "resnet50". The Config carries everything else (input
 // geometry, width divisor, BN options, shared BN states, eval mode).
-func Build(arch string, cfg Config) (*Model, error) {
+// Graph-construction panics (e.g. an input too small for the
+// architecture's pooling pyramid) are returned as errors.
+func Build(arch string, cfg Config) (m *Model, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("models: %s with input %dx%d: %v", arch, cfg.InputH, cfg.InputW, r)
+		}
+	}()
 	switch arch {
 	case "alexnet":
 		return AlexNet(cfg), nil

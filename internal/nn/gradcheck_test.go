@@ -1,0 +1,220 @@
+package nn_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"splitcnn/internal/core"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+// This file is a finite-difference harness for whole graphs: it checks
+// the directional derivative of loss = sum(outputs) — the quantity
+// Backward computes when it seeds output gradients with ones — against
+// a central difference along one random direction through *all*
+// parameters at once. A directional probe touches every coordinate
+// (unlike per-coordinate spot checks, which sample a handful), and
+// accumulating the dot products and losses in float64 keeps the
+// comparison meaningful even though the kernels run in float32.
+
+// direction returns a fixed random unit vector over all parameter
+// coordinates of store, keyed by parameter name.
+func direction(store *graph.ParamStore, seed int64) map[string][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make(map[string][]float64)
+	var norm float64
+	for _, p := range store.All() {
+		d := make([]float64, p.Value.Elems())
+		for i := range d {
+			d[i] = rng.NormFloat64()
+			norm += d[i] * d[i]
+		}
+		v[p.Name] = d
+	}
+	norm = math.Sqrt(norm)
+	for _, d := range v {
+		for i := range d {
+			d[i] /= norm
+		}
+	}
+	return v
+}
+
+// lossAt runs a fresh forward pass and returns sum(outputs) in float64.
+func lossAt(t *testing.T, g *graph.Graph, store *graph.ParamStore, feeds graph.Feeds) float64 {
+	t.Helper()
+	ex, err := graph.NewExecutor(g, store)
+	if err != nil {
+		t.Fatalf("executor: %v", err)
+	}
+	outs, err := ex.Forward(feeds)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	var s float64
+	for _, o := range outs {
+		s += o.Sum()
+	}
+	return s
+}
+
+// directionalGradCheck compares the analytic directional derivative
+// ⟨∇θ L, v⟩ with the central difference (L(θ+εv) − L(θ−εv)) / 2ε and
+// fails when the relative error exceeds tol.
+func directionalGradCheck(t *testing.T, g *graph.Graph, store *graph.ParamStore, feeds graph.Feeds, seed int64, tol float64) {
+	t.Helper()
+	ex, err := graph.NewExecutor(g, store)
+	if err != nil {
+		t.Fatalf("executor: %v", err)
+	}
+	store.ZeroGrads()
+	if _, err := ex.Forward(feeds); err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if err := ex.Backward(); err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+
+	v := direction(store, seed)
+	var analytic float64
+	for _, p := range store.All() {
+		d := v[p.Name]
+		for i, gr := range p.Grad.Data() {
+			analytic += float64(gr) * d[i]
+		}
+	}
+
+	// ε is a trade-off: large enough that the float32 loss difference
+	// rises above rounding noise, small enough that curvature (and
+	// ReLU/maxpool kink crossings) stay negligible.
+	const eps = 1e-2
+	perturb := func(scale float64) {
+		for _, p := range store.All() {
+			d := v[p.Name]
+			data := p.Value.Data()
+			for i := range data {
+				data[i] = float32(float64(data[i]) + scale*d[i])
+			}
+		}
+	}
+	saved := make(map[string][]float32)
+	for _, p := range store.All() {
+		saved[p.Name] = append([]float32(nil), p.Value.Data()...)
+	}
+	restore := func() {
+		for _, p := range store.All() {
+			copy(p.Value.Data(), saved[p.Name])
+		}
+	}
+
+	perturb(+eps)
+	up := lossAt(t, g, store, feeds)
+	restore()
+	perturb(-eps)
+	down := lossAt(t, g, store, feeds)
+	restore()
+
+	fd := (up - down) / (2 * eps)
+	rel := math.Abs(fd-analytic) / math.Max(1, math.Max(math.Abs(fd), math.Abs(analytic)))
+	if rel > tol {
+		t.Errorf("directional derivative: analytic %.8g vs finite-difference %.8g (rel %.2e > %.0e)",
+			analytic, fd, rel, tol)
+	}
+}
+
+// gradCase builds one small graph ending in a linear head, so split and
+// unsplit variants share the same parameters and loss surface.
+type gradCase struct {
+	name  string
+	build func(g *graph.Graph) // input "x" [2,3,8,8] → output
+}
+
+func gradCases() []gradCase {
+	conv := func(g *graph.Graph, x *graph.Node) *graph.Node {
+		w := g.Param("c1.w", tensor.Shape{4, 3, 3, 3})
+		b := g.Param("c1.b", tensor.Shape{4})
+		return g.Add("c1", nn.NewConv(3, 1, 1), x, w, b)
+	}
+	head := func(g *graph.Graph, in *graph.Node, d int) {
+		f := g.Add("flatten", nn.Flatten{}, in)
+		w := g.Param("fc.w", tensor.Shape{5, d})
+		b := g.Param("fc.b", tensor.Shape{5})
+		g.SetOutput(g.Add("fc", nn.Linear{}, f, w, b))
+	}
+	return []gradCase{
+		{"conv-linear", func(g *graph.Graph) {
+			head(g, conv(g, g.Input("x", tensor.Shape{2, 3, 8, 8})), 4*8*8)
+		}},
+		{"conv-relu-maxpool-linear", func(g *graph.Graph) {
+			c := conv(g, g.Input("x", tensor.Shape{2, 3, 8, 8}))
+			r := g.Add("c1.relu", nn.ReLU{}, c)
+			p := g.Add("pool1", nn.NewMaxPool(2, 2), r)
+			head(g, p, 4*4*4)
+		}},
+		{"conv-bn-linear", func(g *graph.Graph) {
+			c := conv(g, g.Input("x", tensor.Shape{2, 3, 8, 8}))
+			gamma := g.Param("bn1.gamma", tensor.Shape{4})
+			beta := g.Param("bn1.beta", tensor.Shape{4})
+			bn := g.Add("bn1", nn.NewBatchNorm(nn.NewBNState("bn1", 4)), c, gamma, beta)
+			head(g, bn, 4*8*8)
+		}},
+	}
+}
+
+func buildCase(t *testing.T, c gradCase, split bool) (*graph.Graph, *graph.ParamStore, graph.Feeds) {
+	t.Helper()
+	g := graph.New()
+	c.build(g)
+	store := graph.NewParamStore()
+	rng := rand.New(rand.NewSource(11))
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+	// Perturb BN affine params away from the degenerate (1, 0) init.
+	if p := store.Lookup("bn1.gamma"); p != nil {
+		p.Value.RandUniform(rng, 0.5, 1.5)
+	}
+	if p := store.Lookup("bn1.beta"); p != nil {
+		p.Value.RandNormal(rng, 0.3)
+	}
+	if split {
+		sr, err := core.Split(g, core.Config{Depth: 1, NH: 2, NW: 2})
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		if sr.SplitConvs == 0 {
+			t.Fatal("split transformed no convolutions")
+		}
+		g = sr.Graph
+	}
+	x := tensor.New(2, 3, 8, 8)
+	x.RandNormal(rng, 1)
+	return g, store, graph.Feeds{"x": x}
+}
+
+// TestDirectionalGradCheck validates end-to-end autodiff on small
+// conv/pool/BN/linear graphs against central differences, both on the
+// original graphs and on their Split-CNN rewrites (2x2 patches, full
+// depth) — the transform must preserve gradients, not just values.
+func TestDirectionalGradCheck(t *testing.T) {
+	for _, c := range gradCases() {
+		for _, split := range []bool{false, true} {
+			name := c.name
+			if split {
+				name += "-split"
+			}
+			t.Run(name, func(t *testing.T) {
+				g, store, feeds := buildCase(t, c, split)
+				directionalGradCheck(t, g, store, feeds, 42, 1e-3)
+			})
+		}
+	}
+}
+
+// Note there is no "split gradients equal unsplit gradients" test on
+// purpose: halo-less patches are padded independently at internal
+// boundaries (§3), so the split graph computes a deliberately different
+// function with different gradients. The property that must hold — and
+// that the split cases above check — is that the split graph's autodiff
+// is exact for the function it actually computes.

@@ -35,11 +35,11 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
-// PlanAndRun executes the whole HMMS pipeline for one graph: serialize,
-// assign storage, plan offload/prefetch with the chosen method (capped
-// at limit — pass a negative limit to use the program's theoretical
-// offload limit), statically plan memory, and simulate the step.
-func PlanAndRun(g *graph.Graph, dev costmodel.DeviceSpec, m Method, limit float64) (*Result, *hmms.Program, *hmms.MemoryPlan, error) {
+// Plan executes the offline stages of the HMMS pipeline for one graph:
+// serialize, assign storage, plan offload/prefetch with the chosen
+// method (capped at limit — pass a negative limit to use the program's
+// theoretical offload limit), and statically plan memory.
+func Plan(g *graph.Graph, dev costmodel.DeviceSpec, m Method, limit float64) (*hmms.Program, *hmms.OffloadPlan, *hmms.MemoryPlan, error) {
 	prog, err := hmms.BuildProgram(g, dev)
 	if err != nil {
 		return nil, nil, nil, err
@@ -62,7 +62,16 @@ func PlanAndRun(g *graph.Graph, dev costmodel.DeviceSpec, m Method, limit float6
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	mem := hmms.PlanMemory(prog, assign, plan, hmms.FirstFit)
+	return prog, plan, hmms.PlanMemory(prog, assign, plan, hmms.FirstFit), nil
+}
+
+// PlanAndRun executes the whole HMMS pipeline for one graph — Plan
+// followed by the analytic step simulation.
+func PlanAndRun(g *graph.Graph, dev costmodel.DeviceSpec, m Method, limit float64) (*Result, *hmms.Program, *hmms.MemoryPlan, error) {
+	prog, plan, mem, err := Plan(g, dev, m, limit)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	res, err := Run(prog, plan, mem)
 	if err != nil {
 		return nil, nil, nil, err

@@ -6,6 +6,7 @@ import (
 
 	"splitcnn/internal/device"
 	"splitcnn/internal/hmms"
+	"splitcnn/internal/trace"
 )
 
 // Replay lowers a planned program onto the discrete-event device model
@@ -18,8 +19,19 @@ import (
 // the time-resolved device memory occupancy of the static plan (when mem
 // is non-nil), validating it against the device capacity.
 func Replay(p *hmms.Program, plan *hmms.OffloadPlan, mem *hmms.MemoryPlan, capacity int64) (*device.Trace, error) {
+	return ReplayTraced(p, plan, mem, capacity, nil)
+}
+
+// ReplayTraced is Replay with a trace recorder attached to the device:
+// every retired kernel and copy is forwarded as a span, one trace lane
+// per stream ("compute", "mem1", "mem2", ...). Unlike Run's analytic
+// three-lane timeline, the replay shows each offloaded TSO on its own
+// memory stream — the closest analogue of the paper's nvprof capture.
+// rec may be nil.
+func ReplayTraced(p *hmms.Program, plan *hmms.OffloadPlan, mem *hmms.MemoryPlan, capacity int64, rec trace.Recorder) (*device.Trace, error) {
 	d := device.New(p.Device.LinkBandwidth)
 	d.MemCapacity = capacity
+	d.Recorder = rec
 
 	offloadAt := map[int][]*hmms.OffloadEntry{}
 	syncAfter := map[int][]*hmms.OffloadEntry{}

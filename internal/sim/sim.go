@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"splitcnn/internal/hmms"
+	"splitcnn/internal/trace"
 )
 
 // Span is one occupancy interval on a stream, the unit of the
@@ -57,6 +58,32 @@ func (r *Result) Degradation() float64 {
 		return 0
 	}
 	return r.TotalTime/r.ComputeTime - 1
+}
+
+// EmitTrace replays the step's stream timeline into a trace recorder:
+// one lane per stream ("compute", "offload", "prefetch"), one span per
+// kernel or copy — the Figure 9 artifact in Chrome trace form.
+func (r *Result) EmitTrace(rec trace.Recorder) {
+	for _, s := range r.Spans {
+		rec.Span(s.Stream, s.Name, s.Start, s.End)
+	}
+}
+
+// RecordMetrics publishes the step's headline numbers into a metrics
+// registry. The sim.stall_seconds and mem-side gauges are recorded
+// from the exact float64/int64 fields of Result, so a JSON dump of the
+// registry reproduces them bit-for-bit.
+func (r *Result) RecordMetrics(m *trace.Metrics) {
+	m.Gauge("sim.total_seconds").Set(r.TotalTime)
+	m.Gauge("sim.compute_seconds").Set(r.ComputeTime)
+	m.Gauge("sim.stall_seconds").Set(r.StallTime)
+	m.Gauge("sim.forward_stall_seconds").Set(r.ForwardStall)
+	m.Gauge("sim.backward_stall_seconds").Set(r.BackwardStall)
+	// Every offloaded byte is prefetched back before its backward read.
+	m.Counter("sim.offload_bytes").Add(r.OffloadedBytes)
+	m.Counter("sim.prefetch_bytes").Add(r.OffloadedBytes)
+	m.Gauge("sim.peak_device_bytes").Set(float64(r.PeakDeviceBytes))
+	m.Gauge("sim.host_bytes").Set(float64(r.HostBytes))
 }
 
 // Run simulates one training step of program p under the given offload

@@ -26,14 +26,32 @@ func (d Dim) String() string {
 // indices, mirroring the paper's Split_D(T, (s_0, ..., s_{N-1})) where
 // s_i is the index of the first element of the i-th part. starts[0] must
 // be 0 and starts must be strictly increasing and within the dimension.
+// It panics on an invalid split; use TrySplitSpatial to get an error
+// instead when the spec comes from untrusted input.
 func SplitSpatial(x *Tensor, d Dim, starts []int) []*Tensor {
+	parts, err := TrySplitSpatial(x, d, starts)
+	if err != nil {
+		panic(fmt.Sprintf("tensor.SplitSpatial: %v", err))
+	}
+	return parts
+}
+
+// TrySplitSpatial is SplitSpatial with invalid splits reported as
+// errors rather than panics.
+func TrySplitSpatial(x *Tensor, d Dim, starts []int) ([]*Tensor, error) {
+	if len(x.shape) != 4 {
+		return nil, fmt.Errorf("want an NCHW tensor, have shape %v", x.shape)
+	}
+	if d != DimH && d != DimW {
+		return nil, fmt.Errorf("cannot split dimension %v", d)
+	}
 	n, c, h, w := x.shape.N(), x.shape.C(), x.shape.H(), x.shape.W()
 	size := h
 	if d == DimW {
 		size = w
 	}
 	if err := ValidateStarts(starts, size); err != nil {
-		panic(fmt.Sprintf("tensor.SplitSpatial: %v", err))
+		return nil, err
 	}
 	parts := make([]*Tensor, len(starts))
 	for i, s := range starts {
@@ -47,7 +65,7 @@ func SplitSpatial(x *Tensor, d Dim, starts []int) []*Tensor {
 			parts[i] = sliceW(x, n, c, h, w, s, end)
 		}
 	}
-	return parts
+	return parts, nil
 }
 
 // ValidateStarts checks a split-start vector against a dimension size.

@@ -1,0 +1,115 @@
+package tensor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"splitcnn/internal/tensor"
+)
+
+// randomStarts draws a valid split-start vector for a dimension of the
+// given size: 0 plus a sorted sample of distinct cut points.
+func randomStarts(rng *rand.Rand, size int) []int {
+	starts := []int{0}
+	for s := 1 + rng.Intn(2); s < size; s += 1 + rng.Intn(size) {
+		starts = append(starts, s)
+	}
+	return starts
+}
+
+// TestFuzzSplitConcatRoundTrip mirrors the seeded-loop idiom of
+// hmms/fuzz_test.go: for many random tensors and split vectors,
+// ConcatSpatial(SplitSpatial(x)) must reproduce x exactly — the
+// identity the Split-CNN rewrite relies on at every join point.
+func TestFuzzSplitConcatRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n, c := 1+rng.Intn(3), 1+rng.Intn(4)
+		h, w := 1+rng.Intn(12), 1+rng.Intn(12)
+		x := tensor.New(n, c, h, w)
+		x.RandNormal(rng, 1)
+
+		for _, d := range []tensor.Dim{tensor.DimH, tensor.DimW} {
+			size := h
+			if d == tensor.DimW {
+				size = w
+			}
+			starts := randomStarts(rng, size)
+			parts, err := tensor.TrySplitSpatial(x, d, starts)
+			if err != nil {
+				t.Fatalf("seed %d dim %v starts %v: %v", seed, d, starts, err)
+			}
+			total := 0
+			for _, p := range parts {
+				if d == tensor.DimH {
+					total += p.Shape().H()
+				} else {
+					total += p.Shape().W()
+				}
+			}
+			if total != size {
+				t.Fatalf("seed %d dim %v: parts cover %d of %d", seed, d, total, size)
+			}
+			back := tensor.ConcatSpatial(parts, d)
+			if !back.Shape().Equal(x.Shape()) {
+				t.Fatalf("seed %d dim %v: round-trip shape %v, want %v", seed, d, back.Shape(), x.Shape())
+			}
+			for i, v := range back.Data() {
+				if v != x.Data()[i] {
+					t.Fatalf("seed %d dim %v starts %v: data[%d] = %v, want %v",
+						seed, d, starts, i, v, x.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzTrySplitSpatialRejectsBadSpecs checks that randomly corrupted
+// split vectors come back as errors from TrySplitSpatial — never as a
+// panic, and never as a silently wrong split.
+func TestFuzzTrySplitSpatialRejectsBadSpecs(t *testing.T) {
+	x := tensor.New(2, 3, 8, 8)
+	corrupt := func(rng *rand.Rand) []int {
+		switch rng.Intn(4) {
+		case 0: // empty
+			return nil
+		case 1: // does not start at 0
+			return []int{1 + rng.Intn(8), 9}
+		case 2: // not strictly increasing
+			s := 1 + rng.Intn(7)
+			return []int{0, s, s - rng.Intn(2)}
+		default: // out of range
+			return []int{0, 8 + rng.Intn(4)}
+		}
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		starts := corrupt(rng)
+		d := []tensor.Dim{tensor.DimH, tensor.DimW}[rng.Intn(2)]
+		if parts, err := tensor.TrySplitSpatial(x, d, starts); err == nil {
+			t.Fatalf("seed %d: TrySplitSpatial(%v, %v) = %d parts, want error", seed, d, starts, len(parts))
+		}
+	}
+}
+
+// TestTrySplitSpatialRejectsShapeAndDim covers the non-starts error
+// paths: non-NCHW tensors and non-spatial dimensions.
+func TestTrySplitSpatialRejectsShapeAndDim(t *testing.T) {
+	if _, err := tensor.TrySplitSpatial(tensor.New(6), tensor.DimH, []int{0}); err == nil {
+		t.Error("want an error for a rank-1 tensor")
+	}
+	if _, err := tensor.TrySplitSpatial(tensor.New(1, 2, 4, 4), tensor.Dim(1), []int{0}); err == nil {
+		t.Error("want an error for a non-spatial dimension")
+	}
+}
+
+// TestSplitSpatialPanicsOnBadSpec pins the documented contract of the
+// panicking wrapper.
+func TestSplitSpatialPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SplitSpatial did not panic on an out-of-range start")
+		}
+	}()
+	tensor.SplitSpatial(tensor.New(1, 1, 4, 4), tensor.DimH, []int{0, 9})
+}

@@ -1,0 +1,99 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+	"splitcnn/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenRun produces the trace and metrics JSON for a small AlexNet
+// under the HMMS plan on a P100. Everything downstream of the model is
+// deterministic (analytic cost model, sorted event export), so the
+// bytes must match the checked-in goldens exactly.
+func goldenRun(t *testing.T) (traceJSON, metricsJSON []byte) {
+	t.Helper()
+	m, err := models.Build("alexnet", models.Config{
+		BatchSize: 2, Classes: 10, InputC: 3, InputH: 64, InputW: 64, WidthDiv: 16,
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	prog, plan, mem, err := sim.Plan(m.Graph, costmodel.P100(), sim.MethodHMMS, -1)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	res, err := sim.Run(prog, plan, mem)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	tr := trace.New()
+	res.EmitTrace(tr)
+	var tb bytes.Buffer
+	if err := tr.WriteJSON(&tb); err != nil {
+		t.Fatalf("trace json: %v", err)
+	}
+
+	reg := trace.NewMetrics()
+	res.RecordMetrics(reg)
+	mem.RecordMetrics(reg)
+	var mb bytes.Buffer
+	if err := reg.WriteJSON(&mb); err != nil {
+		t.Fatalf("metrics json: %v", err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the golden file (%d bytes got, %d want).\n"+
+			"If the change is intentional, rerun with -update and review the diff.",
+			name, len(got), len(want))
+	}
+}
+
+// TestGoldenAlexNetHMMSTrace pins the exported Chrome trace and metrics
+// of a small AlexNet HMMS run, so that unintended changes to the cost
+// model, planner, simulator or exporters show up as a golden diff.
+func TestGoldenAlexNetHMMSTrace(t *testing.T) {
+	traceJSON, metricsJSON := goldenRun(t)
+	checkGolden(t, "alexnet_hmms_trace.json", traceJSON)
+	checkGolden(t, "alexnet_hmms_metrics.json", metricsJSON)
+}
+
+// TestGoldenRunIsDeterministic guards the property the golden test
+// relies on: two independent pipeline runs export identical bytes.
+func TestGoldenRunIsDeterministic(t *testing.T) {
+	t1, m1 := goldenRun(t)
+	t2, m2 := goldenRun(t)
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace export is not deterministic across runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics export is not deterministic across runs")
+	}
+}

@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Metrics is a registry of named counters, gauges and histograms. All
+// instruments are created on first use and are safe for concurrent
+// access; the registry dumps to JSON (machine-diffable) or text.
+//
+// The layers of this repository record a common vocabulary (see the
+// README's metric glossary): the simulator sets sim.* gauges (compute,
+// stall and total time), the memory planner sets mem.* gauges
+// (per-pool static sizes, the allocator high-water mark, fragmentation)
+// and the CPU executor/trainer bump exec.* and train.* instruments.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically growing integer.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a settable float64 value.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// SetMax raises the gauge to v if v is larger — the high-water-mark
+// update used for peak-memory gauges.
+func (g *Gauge) SetMax(v float64) {
+	g.mu.Lock()
+	if v > g.v {
+		g.v = v
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates observations into fixed upper-bound buckets
+// plus count/sum/min/max summaries.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	buckets []int64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Counter returns (creating if needed) the named counter.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// DefBuckets are the default histogram bounds (seconds-flavored
+// exponential scale).
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100}
+
+// Histogram returns (creating if needed) the named histogram. bounds
+// are sorted upper bucket bounds; nil selects DefBuckets. Bounds are
+// fixed at creation — later calls ignore the argument.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, buckets: make([]int64, len(bs)+1)}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// histogramDump is the JSON form of one histogram.
+type histogramDump struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// dump is the JSON form of the whole registry.
+type dump struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]histogramDump `json:"histograms"`
+}
+
+func (m *Metrics) snapshot() dump {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := dump{
+		Counters:   make(map[string]int64, len(m.counters)),
+		Gauges:     make(map[string]float64, len(m.gauges)),
+		Histograms: make(map[string]histogramDump, len(m.histograms)),
+	}
+	for name, c := range m.counters {
+		d.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		d.Gauges[name] = g.Value()
+	}
+	for name, h := range m.histograms {
+		h.mu.Lock()
+		d.Histograms[name] = histogramDump{
+			Count:   h.count,
+			Sum:     h.sum,
+			Min:     h.min,
+			Max:     h.max,
+			Bounds:  append([]float64(nil), h.bounds...),
+			Buckets: append([]int64(nil), h.buckets...),
+		}
+		h.mu.Unlock()
+	}
+	return d
+}
+
+// WriteJSON dumps the registry as one JSON object with counters,
+// gauges and histograms keyed by name. Gauge values round-trip
+// exactly: encoding/json renders float64 with enough digits to
+// re-parse to the identical bits, which is what lets tests assert
+// metric values equal planner outputs with ==.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m.snapshot(), "", " ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// WriteFile writes the metrics JSON to path.
+func (m *Metrics) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteText dumps the registry as sorted "kind name value" lines.
+func (m *Metrics) WriteText(w io.Writer) error {
+	d := m.snapshot()
+	var lines []string
+	for name, v := range d.Counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", name, v))
+	}
+	for name, v := range d.Gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %v", name, v))
+	}
+	for name, h := range d.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		if math.IsNaN(mean) {
+			mean = 0
+		}
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d sum=%v min=%v max=%v mean=%v",
+			name, h.Count, h.Sum, h.Min, h.Max, mean))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

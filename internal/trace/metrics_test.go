@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsInstruments(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("ops").Add(3)
+	m.Counter("ops").Add(4)
+	if v := m.Counter("ops").Value(); v != 7 {
+		t.Fatalf("counter = %d, want 7", v)
+	}
+	g := m.Gauge("peak")
+	g.Set(10)
+	g.SetMax(5)
+	if v := g.Value(); v != 10 {
+		t.Fatalf("SetMax lowered the gauge: %v", v)
+	}
+	g.SetMax(12)
+	if v := g.Value(); v != 12 {
+		t.Fatalf("SetMax did not raise the gauge: %v", v)
+	}
+	h := m.Histogram("lat", []float64{1, 10})
+	for _, v := range []float64{0.5, 2, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 22.5 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if h.Mean() != 7.5 {
+		t.Fatalf("histogram mean=%v", h.Mean())
+	}
+}
+
+func TestMetricsJSONRoundTripsExactValues(t *testing.T) {
+	m := NewMetrics()
+	// An awkward float that must survive the JSON round trip bit-exactly.
+	stall := 0.12345678901234567
+	m.Gauge("sim.stall_seconds").Set(stall)
+	m.Gauge("mem.device_high_water_bytes").Set(16123456789)
+	m.Counter("sim.offload_bytes").Add(987654321123)
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Gauges["sim.stall_seconds"] != stall {
+		t.Fatalf("stall gauge %v did not round-trip (want %v)", d.Gauges["sim.stall_seconds"], stall)
+	}
+	if d.Gauges["mem.device_high_water_bytes"] != 16123456789 {
+		t.Fatalf("peak gauge %v did not round-trip", d.Gauges["mem.device_high_water_bytes"])
+	}
+	if d.Counters["sim.offload_bytes"] != 987654321123 {
+		t.Fatalf("counter %v did not round-trip", d.Counters["sim.offload_bytes"])
+	}
+}
+
+func TestMetricsWriteText(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a").Add(1)
+	m.Gauge("b").Set(2.5)
+	m.Histogram("c", nil).Observe(0.25)
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"counter a 1", "gauge b 2.5", "histogram c count=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Counter("n").Add(1)
+				m.Gauge("g").SetMax(float64(i))
+				m.Histogram("h", nil).Observe(float64(i) * 1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := m.Counter("n").Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+	if v := m.Histogram("h", nil).Count(); v != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", v)
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTraceExportShape(t *testing.T) {
+	tr := New()
+	tr.Span("compute", "conv1", 0, 0.001)
+	tr.Span("offload", "tso0", 0.0005, 0.002)
+	tr.Span("compute", "conv2", 0.001, 0.003)
+	tr.Span("mem3", "prefetch-tso1", 0.002, 0.004)
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has ph %q, want X", e.Name, e.Ph)
+		}
+		if e.Dur < 0 {
+			t.Fatalf("event %q has negative dur %v", e.Name, e.Dur)
+		}
+		if e.PID == 0 {
+			t.Fatalf("event %q has zero pid", e.Name)
+		}
+	}
+	// Sorted by timestamp.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("events not sorted: %v after %v", evs[i].TS, evs[i-1].TS)
+		}
+	}
+	// Well-known streams keep fixed tids; new streams get the next one.
+	byName := map[string]Event{}
+	for _, e := range evs {
+		byName[e.Name] = e
+	}
+	if byName["conv1"].TID != 0 || byName["conv2"].TID != 0 {
+		t.Fatalf("compute spans must be on tid 0: %+v", byName)
+	}
+	if byName["tso0"].TID != 1 {
+		t.Fatalf("offload span on tid %d, want 1", byName["tso0"].TID)
+	}
+	if byName["prefetch-tso1"].TID != 3 {
+		t.Fatalf("first fresh stream on tid %d, want 3", byName["prefetch-tso1"].TID)
+	}
+	// Seconds convert to microseconds.
+	if byName["conv1"].Dur != 1000 {
+		t.Fatalf("conv1 dur %v us, want 1000", byName["conv1"].Dur)
+	}
+}
+
+func TestTraceWriteJSONIsValidEventArray(t *testing.T) {
+	tr := New()
+	tr.Span("compute", "k", 0, 1e-3)
+	tr.Span("prefetch", "p", 1e-3, 2e-3)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("export is not a JSON array: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for _, e := range evs {
+		for _, k := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Fatalf("event %v missing %q", e, k)
+			}
+		}
+		if e["ph"] != "X" {
+			t.Fatalf("event %v is not a complete event", e)
+		}
+	}
+}
+
+func TestTraceConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Span("compute", "op", float64(i), float64(i)+0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("got %d spans, want 800", tr.Len())
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var r Recorder = Nop{}
+	r.Span("compute", "x", 0, 1) // must not panic
+}

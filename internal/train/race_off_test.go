@@ -1,0 +1,9 @@
+//go:build !race
+
+package train_test
+
+// raceEnabled mirrors the stdlib's internal/race.Enabled: heavy
+// training tests shrink their workloads under the race detector, whose
+// ~20x slowdown would otherwise push the package past the test binary
+// timeout. The full-size assertions run in every normal `go test`.
+const raceEnabled = false

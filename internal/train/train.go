@@ -8,6 +8,7 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"splitcnn/internal/core"
 	"splitcnn/internal/data"
@@ -15,6 +16,7 @@ import (
 	"splitcnn/internal/models"
 	"splitcnn/internal/nn"
 	"splitcnn/internal/tensor"
+	"splitcnn/internal/trace"
 )
 
 // SGD is stochastic gradient descent with momentum and (decoupled from
@@ -78,6 +80,17 @@ type Config struct {
 	Seed          int64
 	// Progress, when non-nil, receives one line per epoch.
 	Progress func(epoch int, trainLoss, testErr float64)
+	// Recorder, when non-nil, receives one "compute"-stream span per
+	// executed op of every training step, timed with the wall clock on
+	// one continuous timeline. Op names match the serialized program's
+	// ("conv1", "conv1.bwd"), so a measured CPU trace diffs directly
+	// against a simulated one.
+	Recorder trace.Recorder
+	// Metrics, when non-nil, accumulates training instrumentation:
+	// exec.ops / exec.output_bytes counters, the exec.op_seconds and
+	// train.step_seconds histograms, and per-epoch train.loss /
+	// train.test_error gauges.
+	Metrics *trace.Metrics
 }
 
 // Result reports a completed run.
@@ -167,6 +180,28 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 	}
 	store.InitFromGraph(evalGraph, rng, nn.KaimingInit)
 
+	// Observability: one shared hook base keeps the per-step executors'
+	// spans on a single continuous timeline.
+	var hook graph.OpHook
+	var hookBase time.Time
+	if cfg.Recorder != nil || cfg.Metrics != nil {
+		hookBase = time.Now()
+		hook = func(ev graph.OpEvent) {
+			name := ev.Name
+			if ev.Backward {
+				name += ".bwd"
+			}
+			if cfg.Recorder != nil {
+				cfg.Recorder.Span("compute", name, ev.Start, ev.Start+ev.Dur)
+			}
+			if cfg.Metrics != nil {
+				cfg.Metrics.Counter("exec.ops").Add(1)
+				cfg.Metrics.Counter("exec.output_bytes").Add(ev.OutputBytes)
+				cfg.Metrics.Histogram("exec.op_seconds", nil).Observe(ev.Dur)
+			}
+		}
+	}
+
 	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay}
 	steps := ds.Cfg.TrainN / cfg.BatchSize
 	if steps == 0 {
@@ -214,6 +249,8 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			ex.Hook, ex.HookBase = hook, hookBase
+			stepStart := time.Now()
 			x, labels := ds.Batch(true, perm[s*cfg.BatchSize:(s+1)*cfg.BatchSize])
 			store.ZeroGrads()
 			outs, err := ex.Forward(graph.Feeds{"image": x, "labels": labels})
@@ -225,6 +262,11 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 				return nil, err
 			}
 			opt.Step(store)
+			if cfg.Metrics != nil {
+				cfg.Metrics.Counter("train.steps").Add(1)
+				cfg.Metrics.Counter("train.samples").Add(int64(cfg.BatchSize))
+				cfg.Metrics.Histogram("train.step_seconds", nil).Observe(time.Since(stepStart).Seconds())
+			}
 		}
 		if recalibrate && cfg.EvalUnsplit {
 			if err := recalibrateBN(perm); err != nil {
@@ -237,6 +279,11 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 		}
 		res.TrainLoss = append(res.TrainLoss, lossSum/float64(steps))
 		res.TestErr = append(res.TestErr, testErr)
+		if cfg.Metrics != nil {
+			cfg.Metrics.Gauge("train.loss").Set(lossSum / float64(steps))
+			cfg.Metrics.Gauge("train.test_error").Set(testErr)
+			cfg.Metrics.Counter("train.epochs").Add(1)
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, lossSum/float64(steps), testErr)
 		}

@@ -14,6 +14,9 @@ import (
 func tinyDataset(t *testing.T) *data.Dataset {
 	t.Helper()
 	cfg := data.CIFARLike(512, 128)
+	if raceEnabled {
+		cfg = data.CIFARLike(128, 64)
+	}
 	cfg.Noise = 0.3
 	cfg.MaxShift = 2
 	ds, err := data.Synthetic(cfg)
@@ -81,17 +84,22 @@ func TestTrainBaselineLearns(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Epochs = 6
 	cfg.LRDecayEpochs = []int{4}
+	if raceEnabled {
+		cfg.Epochs, cfg.LRDecayEpochs = 2, nil
+	}
 	res, err := train.Run(cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.TestErr) != 6 || len(res.TrainLoss) != 6 {
+	if len(res.TestErr) != cfg.Epochs || len(res.TrainLoss) != cfg.Epochs {
 		t.Fatalf("curves %d/%d epochs", len(res.TestErr), len(res.TrainLoss))
 	}
-	if res.TrainLoss[5] >= res.TrainLoss[0] {
+	if res.TrainLoss[cfg.Epochs-1] >= res.TrainLoss[0] {
 		t.Fatalf("training loss did not drop: %v", res.TrainLoss)
 	}
-	if res.FinalTestErr > 0.6 {
+	// The accuracy bar needs the full six epochs; the shrunken race run
+	// only checks that training makes progress without data races.
+	if !raceEnabled && res.FinalTestErr > 0.6 {
 		t.Fatalf("final test error %.2f: no better than chance", res.FinalTestErr)
 	}
 }
@@ -100,6 +108,9 @@ func TestTrainSplitModel(t *testing.T) {
 	ds := tinyDataset(t)
 	cfg := baseCfg()
 	cfg.Split = core.Config{Depth: 0.5, NH: 2, NW: 2}
+	if raceEnabled {
+		cfg.Epochs, cfg.LRDecayEpochs = 2, nil
+	}
 	res, err := train.Run(cfg, ds)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +118,7 @@ func TestTrainSplitModel(t *testing.T) {
 	if res.SplitConvs != 8 || res.TotalConvs != 16 {
 		t.Fatalf("split %d/%d convs, want 8/16", res.SplitConvs, res.TotalConvs)
 	}
-	if res.TrainLoss[2] >= res.TrainLoss[0] {
+	if res.TrainLoss[cfg.Epochs-1] >= res.TrainLoss[0] {
 		t.Fatalf("split model did not learn: %v", res.TrainLoss)
 	}
 }
