@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt ci golden trace
+.PHONY: build test race vet fmt ci golden trace bench-kernels bench-smoke
+
+# Kernel micro-benchmarks: the CPU execution engine's hot paths
+# (blocked GEMM, im2col, convolution, full arena-backed train step).
+KERNEL_BENCH = MatMul$$|Im2Col$$|TrainStep$$|Conv2DForward$$|GemmSquare|ConvIm2Col3x3$$|ConvWinograd3x3$$
 
 build:
 	$(GO) build ./...
@@ -24,7 +28,20 @@ fmt:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: vet fmt build race
+ci: vet fmt build race bench-smoke
+
+# bench-kernels measures the kernel micro-benchmarks and appends the
+# run to BENCH_kernels.json (the committed perf trajectory). Label the
+# run with BENCH_LABEL="short description".
+bench-kernels: build
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchtime 2s . ./internal/tensor \
+		| $(GO) run ./cmd/benchjson -date "$$(date +%Y-%m-%d)" -label "$(BENCH_LABEL)"
+
+# bench-smoke runs every kernel benchmark exactly once so CI catches
+# benchmarks that no longer compile or crash, without paying for a
+# full measurement.
+bench-smoke:
+	@$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchtime 1x . ./internal/tensor > /dev/null
 
 # golden regenerates the trace/metrics golden files after an intended
 # change to the cost model, planner, simulator or exporters.

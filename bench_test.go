@@ -24,6 +24,7 @@ import (
 	"splitcnn/internal/nn"
 	"splitcnn/internal/sim"
 	"splitcnn/internal/tensor"
+	"splitcnn/internal/train"
 )
 
 func benchOpts(b *testing.B) experiments.Options {
@@ -294,6 +295,101 @@ func BenchmarkConv2DForward(b *testing.B) {
 		tensor.Conv2D(x, w, bias, p)
 	}
 	b.ReportMetric(float64(flops*int64(b.N))/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkMatMul measures the blocked packed SGEMM on a square
+// problem large enough to stream through all cache levels.
+func BenchmarkMatMul(b *testing.B) {
+	const n = 512
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(n, n)
+	y := tensor.New(n, n)
+	dst := tensor.New(n, n)
+	x.RandNormal(rng, 1)
+	y.RandNormal(rng, 1)
+	flops := 2 * int64(n) * int64(n) * int64(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, x, y)
+	}
+	b.ReportMetric(float64(flops*int64(b.N))/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkIm2Col measures the stride-1 lowering fast path on the same
+// geometry BenchmarkConv2DForward convolves; the metric is column-matrix
+// bytes produced per second.
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(8, 64, 32, 32)
+	x.RandNormal(rng, 1)
+	p := tensor.ConvParams{KH: 3, KW: 3, SH: 1, SW: 1, Pad: tensor.Symmetric(1)}
+	a := tensor.NewArena()
+	bytes := int64(64*9*8*32*32) * 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := tensor.Im2ColArena(a, x, p)
+		a.Put(col)
+	}
+	b.ReportMetric(float64(bytes*int64(b.N))/b.Elapsed().Seconds()/1e9, "GB/s")
+}
+
+// BenchmarkTrainStep measures one full arena-backed training step
+// (forward, backward, SGD) of a small CNN. With b.ReportAllocs the
+// allocs/op column doubles as a live view of the zero-allocation
+// contract that internal/train's TestTrainStepZeroAlloc enforces.
+func BenchmarkTrainStep(b *testing.B) {
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	const batch = 8
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{batch, 3, 32, 32})
+	labels := g.Input("labels", tensor.Shape{batch})
+	w1 := g.Param("c1.w", tensor.Shape{16, 3, 3, 3})
+	b1 := g.Param("c1.b", tensor.Shape{16})
+	c1 := g.Add("c1", nn.NewConv(3, 1, 1), x, w1, b1)
+	r1 := g.Add("r1", nn.ReLU{}, c1)
+	mp := g.Add("mp", nn.NewMaxPool(2, 2), r1)
+	gap := g.Add("gap", nn.GlobalAvgPool{}, mp)
+	fl := g.Add("fl", nn.Flatten{}, gap)
+	wf := g.Param("fc.w", tensor.Shape{10, 16})
+	bf := g.Param("fc.b", tensor.Shape{10})
+	fc := g.Add("fc", nn.Linear{}, fl, wf, bf)
+	loss := g.Add("loss", nn.SoftmaxCrossEntropy{}, fc, labels)
+	g.SetOutput(loss)
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+	ex, err := graph.NewExecutor(g, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex.UseArena(tensor.NewArena())
+	opt := &train.SGD{LR: 0.01, Momentum: 0.9}
+	xt := tensor.New(batch, 3, 32, 32)
+	yt := tensor.New(batch)
+	xt.RandNormal(rng, 1)
+	for i := range yt.Data() {
+		yt.Data()[i] = float32(i % 10)
+	}
+	feeds := graph.Feeds{"image": xt, "labels": yt}
+	step := func() {
+		store.ZeroGrads()
+		if _, err := ex.Forward(feeds); err != nil {
+			b.Fatal(err)
+		}
+		if err := ex.Backward(); err != nil {
+			b.Fatal(err)
+		}
+		opt.Step(store)
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm the arena and free lists
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
 }
 
 // BenchmarkSplitTransform measures the graph rewriter itself on the

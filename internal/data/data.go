@@ -138,18 +138,26 @@ func (d *Dataset) sample(n int, rng *rand.Rand) ([]float32, []int) {
 // and label tensors suitable for graph.Feeds.
 func (d *Dataset) Batch(train bool, idx []int) (x, labels *tensor.Tensor) {
 	cfg := d.Cfg
+	x = tensor.New(len(idx), cfg.C, cfg.H, cfg.W)
+	labels = tensor.New(len(idx))
+	d.BatchInto(x, labels, train, idx)
+	return x, labels
+}
+
+// BatchInto fills caller-owned batch tensors in place (the zero-alloc
+// variant of Batch for steady-state training loops). x must hold
+// [len(idx), C, H, W] and labels [len(idx)].
+func (d *Dataset) BatchInto(x, labels *tensor.Tensor, train bool, idx []int) {
+	cfg := d.Cfg
 	img := cfg.C * cfg.H * cfg.W
 	xs, ys := d.TrainX, d.TrainY
 	if !train {
 		xs, ys = d.TestX, d.TestY
 	}
-	x = tensor.New(len(idx), cfg.C, cfg.H, cfg.W)
-	labels = tensor.New(len(idx))
 	for i, j := range idx {
 		copy(x.Data()[i*img:(i+1)*img], xs[j*img:(j+1)*img])
 		labels.Data()[i] = float32(ys[j])
 	}
-	return x, labels
 }
 
 // Shuffled returns a permutation of the training indices.

@@ -28,12 +28,43 @@ type OpEvent struct {
 // OpHook receives per-op execution events.
 type OpHook func(OpEvent)
 
+// ArenaForwardOp is an optional extension of Op: operations that can
+// draw their output and scratch from a tensor.Arena. ForwardArena with
+// a nil arena must behave exactly like Forward (ops typically implement
+// Forward by delegating). The returned stash, if it holds a tensor,
+// should be a bare *tensor.Tensor — pointers cross the `any` boundary
+// without heap-allocating a box, unlike shapes or index slices.
+type ArenaForwardOp interface {
+	Op
+	ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (out *tensor.Tensor, stash any)
+}
+
+// ArenaBackwardOp is the backward-pass counterpart. The op writes the
+// per-input gradients into gin (len(gin) == number of inputs, entries
+// pre-nil'd; nil means "no gradient") instead of returning a fresh
+// slice, and draws gradient tensors from the arena. inShapes carries
+// every input's static shape — including inputs the executor released —
+// so shape-only adjoints (flatten, average pooling) need no stash at
+// all. The op owns its stash: if Forward stashed an arena tensor,
+// BackwardArena must Put it back. Gradients written to gin must be
+// distinct tensors (or aliases of gradOut, which the executor copies
+// before reuse); two gin entries must not alias each other otherwise.
+type ArenaBackwardOp interface {
+	Op
+	BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, in []*tensor.Tensor, inShapes []tensor.Shape, out *tensor.Tensor, stash any, gin []*tensor.Tensor)
+}
+
 // Executor runs real forward/backward arithmetic for a graph on the CPU.
 // It honors the same liveness discipline the memory planner assumes:
 // after the forward pass, activations that no backward computation needs
 // (per the ops' stash declarations) are released immediately, and during
 // the backward pass stashed activations are released as soon as their
 // consumer's gradient has been computed.
+//
+// With UseArena, "released" additionally means "returned to the arena":
+// every activation, gradient, and stash buffer cycles through one warm
+// pool, so a steady-state training step performs zero heap allocations —
+// the host-side mirror of the paper's §4 plan-and-reuse device pool.
 type Executor struct {
 	g     *Graph
 	store *ParamStore
@@ -50,6 +81,23 @@ type Executor struct {
 	// memory pressure used by tests.
 	PeakLiveBytes int64
 	liveBytes     int64
+
+	// arena, when set, supplies all activation/gradient/stash storage.
+	arena *tensor.Arena
+	// Per-node caches built once so the hot loops allocate nothing:
+	// arena-capable op interfaces, reusable input/gradient slices, and
+	// the static input shapes handed to BackwardArena.
+	fwdA     []ArenaForwardOp
+	bwdA     []ArenaBackwardOp
+	inbufs   [][]*tensor.Tensor
+	ginbufs  [][]*tensor.Tensor
+	inShapes [][]tensor.Shape
+	grads    []*tensor.Tensor
+	outsBuf  []*tensor.Tensor
+	isOutput []bool
+	// retired holds output tensors whose arena reclamation is deferred
+	// to the next Forward: the caller reads them after Backward returns.
+	retired []*tensor.Tensor
 
 	// Hook, when non-nil, receives one OpEvent per executed op in both
 	// passes. HookBase anchors event timestamps; set it once per
@@ -71,7 +119,7 @@ func NewExecutor(g *Graph, store *ParamStore) (*Executor, error) {
 			return nil, fmt.Errorf("executor: parameter %q not in store (call InitFromGraph first)", n.Name)
 		}
 	}
-	return &Executor{
+	e := &Executor{
 		g:         g,
 		store:     store,
 		topo:      topo,
@@ -79,16 +127,92 @@ func NewExecutor(g *Graph, store *ParamStore) (*Executor, error) {
 		vals:      make([]*tensor.Tensor, len(g.Nodes)),
 		stashes:   make([]any, len(g.Nodes)),
 		remaining: make([]int, len(g.Nodes)),
-	}, nil
+		fwdA:      make([]ArenaForwardOp, len(g.Nodes)),
+		bwdA:      make([]ArenaBackwardOp, len(g.Nodes)),
+		inbufs:    make([][]*tensor.Tensor, len(g.Nodes)),
+		ginbufs:   make([][]*tensor.Tensor, len(g.Nodes)),
+		inShapes:  make([][]tensor.Shape, len(g.Nodes)),
+		grads:     make([]*tensor.Tensor, len(g.Nodes)),
+		outsBuf:   make([]*tensor.Tensor, len(g.Outputs)),
+		isOutput:  make([]bool, len(g.Nodes)),
+	}
+	for _, n := range g.Outputs {
+		e.isOutput[n.ID] = true
+	}
+	for _, n := range topo {
+		if n.Kind != KindOp {
+			continue
+		}
+		e.inbufs[n.ID] = make([]*tensor.Tensor, len(n.Inputs))
+		e.ginbufs[n.ID] = make([]*tensor.Tensor, len(n.Inputs))
+		shapes := make([]tensor.Shape, len(n.Inputs))
+		for i, src := range n.Inputs {
+			shapes[i] = src.Shape
+		}
+		e.inShapes[n.ID] = shapes
+		if fa, ok := n.Op.(ArenaForwardOp); ok {
+			e.fwdA[n.ID] = fa
+		}
+		if ba, ok := n.Op.(ArenaBackwardOp); ok {
+			e.bwdA[n.ID] = ba
+		}
+	}
+	return e, nil
 }
+
+// UseArena makes the executor draw all activation, gradient, and stash
+// storage from a (nil reverts to plain allocation). The arena should be
+// private to this executor or, at minimum, to one goroutine's executors
+// — the data-parallel trainer gives each worker its own.
+//
+// With an arena installed, the tensors returned by Forward are only
+// valid until the next Forward call, which reclaims them.
+func (e *Executor) UseArena(a *tensor.Arena) { e.arena = a }
+
+// Arena returns the arena installed by UseArena (nil if none).
+func (e *Executor) Arena() *tensor.Arena { return e.arena }
 
 // Feeds maps input-node names to their tensors for one step.
 type Feeds map[string]*tensor.Tensor
 
+// Recycle returns every tensor the executor still holds from the last
+// step — leftover activations, stashes, and the deferred output tensors
+// — to the arena. Forward calls it implicitly; call it directly only
+// when discarding an executor whose arena outlives it (the stochastic
+// splitter builds a fresh graph every minibatch). The previous step's
+// outputs become invalid.
+func (e *Executor) Recycle() { e.recycle() }
+
+// recycle returns the previous step's leftover activations, stashes,
+// and deferred output tensors to the arena, so this step's requests hit
+// the warm pool instead of the heap.
+func (e *Executor) recycle() {
+	for i, t := range e.retired {
+		e.arena.Put(t)
+		e.retired[i] = nil
+	}
+	e.retired = e.retired[:0]
+	for _, n := range e.topo {
+		if n.Kind != KindOp {
+			continue
+		}
+		if v := e.vals[n.ID]; v != nil {
+			e.arena.Put(v)
+			e.vals[n.ID] = nil
+		}
+		if st, ok := e.stashes[n.ID].(*tensor.Tensor); ok {
+			e.arena.Put(st)
+		}
+		e.stashes[n.ID] = nil
+	}
+}
+
 // Forward runs the forward pass and returns the value of each graph
 // output. Activation tensors not needed by the backward pass are
-// released before Forward returns.
+// released before Forward returns. When an arena is installed, the
+// returned tensors are valid until the next Forward call.
 func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
+	e.recycle()
 	e.liveBytes, e.PeakLiveBytes = 0, 0
 	for id := range e.remaining {
 		e.remaining[id] = len(e.cons[id])
@@ -107,7 +231,7 @@ func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 		case KindParam:
 			e.vals[n.ID] = e.store.Lookup(n.Name).Value
 		case KindOp:
-			in := make([]*tensor.Tensor, len(n.Inputs))
+			in := e.inbufs[n.ID]
 			for i, src := range n.Inputs {
 				in[i] = e.vals[src.ID]
 				if in[i] == nil {
@@ -115,7 +239,13 @@ func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 				}
 			}
 			opStart := e.hookStart()
-			out, stash := n.Op.Forward(in)
+			var out *tensor.Tensor
+			var stash any
+			if fa := e.fwdA[n.ID]; fa != nil {
+				out, stash = fa.ForwardArena(e.arena, in)
+			} else {
+				out, stash = n.Op.Forward(in)
+			}
 			if e.Hook != nil {
 				e.Hook(OpEvent{
 					Name: n.Name, Kind: n.Op.Kind(),
@@ -145,7 +275,7 @@ func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 			e.release(n) // dead ends with no forward consumers
 		}
 	}
-	outs := make([]*tensor.Tensor, len(e.g.Outputs))
+	outs := e.outsBuf
 	for i, n := range e.g.Outputs {
 		outs[i] = e.vals[n.ID]
 		if outs[i] == nil {
@@ -161,10 +291,8 @@ func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 // backward computation: by its own op (NeedsOutput) or as a stashed
 // input of a consumer, or is a graph output.
 func (e *Executor) keepForBackward(n *Node) bool {
-	for _, out := range e.g.Outputs {
-		if out == n {
-			return true
-		}
+	if e.isOutput[n.ID] {
+		return true
 	}
 	if n.Kind == KindOp && n.Op.NeedsOutput() {
 		return true
@@ -194,6 +322,13 @@ func (e *Executor) hookStart() float64 {
 func (e *Executor) release(n *Node) {
 	if e.vals[n.ID] != nil && n.Kind == KindOp {
 		e.liveBytes -= e.vals[n.ID].Bytes()
+		if e.isOutput[n.ID] {
+			// The caller may still read this output tensor after
+			// Backward returns; reclaim it at the next Forward instead.
+			e.retired = append(e.retired, e.vals[n.ID])
+		} else {
+			e.arena.Put(e.vals[n.ID])
+		}
 		e.vals[n.ID] = nil
 	}
 }
@@ -209,9 +344,12 @@ func (e *Executor) account(b int64) {
 // ones, i.e. d loss / d loss = 1) into the parameter store's Grad
 // accumulators. Forward must have been called first.
 func (e *Executor) Backward() error {
-	grads := make([]*tensor.Tensor, len(e.g.Nodes))
+	grads := e.grads
+	for i := range grads {
+		grads[i] = nil
+	}
 	for _, out := range e.g.Outputs {
-		g := tensor.New(out.Shape...)
+		g := e.arena.GetRaw(out.Shape...)
 		g.Fill(1)
 		grads[out.ID] = g
 	}
@@ -224,8 +362,9 @@ func (e *Executor) Backward() error {
 		if gradOut == nil {
 			continue // node does not influence any output
 		}
-		in := make([]*tensor.Tensor, len(n.Inputs))
+		in := e.inbufs[n.ID]
 		for j, src := range n.Inputs {
+			in[j] = nil
 			if n.Op.NeedsInput(j) {
 				in[j] = e.vals[src.ID]
 				if in[j] == nil {
@@ -238,7 +377,16 @@ func (e *Executor) Backward() error {
 			out = e.vals[n.ID]
 		}
 		opStart := e.hookStart()
-		gin := n.Op.Backward(gradOut, in, out, e.stashes[n.ID])
+		var gin []*tensor.Tensor
+		if ba := e.bwdA[n.ID]; ba != nil {
+			gin = e.ginbufs[n.ID]
+			for j := range gin {
+				gin[j] = nil
+			}
+			ba.BackwardArena(e.arena, gradOut, in, e.inShapes[n.ID], out, e.stashes[n.ID], gin)
+		} else {
+			gin = n.Op.Backward(gradOut, in, out, e.stashes[n.ID])
+		}
 		if e.Hook != nil {
 			var produced int64
 			for _, g := range gin {
@@ -255,6 +403,19 @@ func (e *Executor) Backward() error {
 		if len(gin) != len(n.Inputs) {
 			return fmt.Errorf("executor: %s backward returned %d grads for %d inputs", n, len(gin), len(n.Inputs))
 		}
+		// Summation ops return gradOut itself as each addend's gradient
+		// (§4.2's shared error terms). Count the aliases up front: a
+		// uniquely-aliased gradOut may be adopted by its consumer, but
+		// multiple aliases must be copied — with arena recycling, two
+		// grads slots sharing one tensor would otherwise reclaim it
+		// while the other still reads it.
+		aliases := 0
+		for _, g := range gin {
+			if g == gradOut {
+				aliases++
+			}
+		}
+		adopted := false
 		for j, g := range gin {
 			if g == nil {
 				continue
@@ -266,27 +427,50 @@ func (e *Executor) Backward() error {
 			switch src.Kind {
 			case KindParam:
 				tensor.AXPY(e.store.Lookup(src.Name).Grad, 1, g)
+				if g != gradOut {
+					e.arena.Put(g)
+				}
 			default:
 				if grads[src.ID] == nil {
-					// Summation ops return gradOut itself as each
-					// addend's gradient (§4.2's shared error terms).
-					// Adopting that alias is only safe when no later
-					// backward op will accumulate into it — otherwise
-					// the in-place AXPY would corrupt the other
-					// addends' still-pending (aliased) gradients.
-					if g == gradOut && len(e.cons[src.ID]) > 1 {
-						g = g.Clone()
+					if g == gradOut {
+						// Adopting the alias is only safe when this is
+						// its sole use and no later backward op will
+						// accumulate into it — otherwise the in-place
+						// AXPY (or arena reuse) would corrupt the other
+						// aliases' still-pending gradients.
+						if aliases > 1 || len(e.cons[src.ID]) > 1 {
+							c := e.arena.GetRaw(g.Shape()...)
+							c.CopyFrom(g)
+							g = c
+						} else {
+							adopted = true
+						}
 					}
 					grads[src.ID] = g
 				} else {
 					tensor.AXPY(grads[src.ID], 1, g)
+					if g != gradOut {
+						e.arena.Put(g)
+					}
 				}
 			}
+		}
+		if !adopted {
+			e.arena.Put(gradOut)
 		}
 		// This node's own gradient and stash are dead now.
 		grads[n.ID] = nil
 		e.stashes[n.ID] = nil
 		e.release(n)
+	}
+	// Gradients that flowed into non-op leaves (graph inputs) have no
+	// consumer: reclaim them, or each step would leak one arena buffer
+	// per input and the warmed training loop would allocate forever.
+	for i, g := range grads {
+		if g != nil {
+			e.arena.Put(g)
+			grads[i] = nil
+		}
 	}
 	return nil
 }

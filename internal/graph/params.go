@@ -29,6 +29,9 @@ type Param struct {
 // train weights that are later evaluated on the unsplit network (§3.3).
 type ParamStore struct {
 	params map[string]*Param
+	// sorted caches All()'s result; rebuilt whenever a parameter has
+	// been created since (so steady-state optimizer loops don't allocate).
+	sorted []*Param
 }
 
 // NewParamStore returns an empty store.
@@ -63,13 +66,18 @@ func (s *ParamStore) Lookup(name string) *Param {
 }
 
 // All returns the parameters sorted by name for deterministic iteration.
+// The returned slice is cached and shared between calls; callers must
+// not modify it.
 func (s *ParamStore) All() []*Param {
-	out := make([]*Param, 0, len(s.params))
-	for _, p := range s.params {
-		out = append(out, p)
+	if len(s.sorted) != len(s.params) {
+		out := make([]*Param, 0, len(s.params))
+		for _, p := range s.params {
+			out = append(out, p)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		s.sorted = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return s.sorted
 }
 
 // Len returns the number of parameters.

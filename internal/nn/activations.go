@@ -37,11 +37,25 @@ func (ReLU) Forward(in []*tensor.Tensor) (*tensor.Tensor, any) {
 	return out, nil
 }
 
+// ForwardArena implements graph.ArenaForwardOp.
+func (ReLU) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	out := a.GetRaw(in[0].Shape()...)
+	tensor.ReLU(out, in[0])
+	return out, nil
+}
+
 // Backward implements graph.Op.
 func (ReLU) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, out *tensor.Tensor, _ any) []*tensor.Tensor {
 	gi := tensor.New(gradOut.Shape()...)
 	tensor.ReLUBackward(gi, gradOut, out)
 	return []*tensor.Tensor{gi}
+}
+
+// BackwardArena implements graph.ArenaBackwardOp.
+func (ReLU) BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, _ []*tensor.Tensor, _ []tensor.Shape, out *tensor.Tensor, _ any, gin []*tensor.Tensor) {
+	gi := a.GetRaw(gradOut.Shape()...)
+	tensor.ReLUBackward(gi, gradOut, out)
+	gin[0] = gi
 }
 
 // NeedsInput implements graph.Op.
@@ -97,6 +111,33 @@ func (d *Dropout) Forward(in []*tensor.Tensor) (*tensor.Tensor, any) {
 	return out, mask
 }
 
+// ForwardArena implements graph.ArenaForwardOp. Instead of a []bool
+// mask, the arena path stashes a float32 tensor holding the per-element
+// scale (0 for dropped, 1/(1−P) for kept): a *Tensor crosses the stash
+// `any` boundary without boxing, and the backward pass becomes one
+// elementwise multiply.
+func (d *Dropout) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	x := in[0]
+	out := a.GetRaw(x.Shape()...)
+	if !d.Training || d.Rng == nil || d.P <= 0 {
+		out.CopyFrom(x)
+		return out, nil
+	}
+	mask := a.GetRaw(x.Shape()...)
+	scale := float32(1 / (1 - d.P))
+	od, md := out.Data(), mask.Data()
+	for i, v := range x.Data() {
+		if d.Rng.Float64() >= d.P {
+			md[i] = scale
+			od[i] = v * scale
+		} else {
+			md[i] = 0
+			od[i] = 0
+		}
+	}
+	return out, mask
+}
+
 // Backward implements graph.Op.
 func (d *Dropout) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, _ *tensor.Tensor, stash any) []*tensor.Tensor {
 	gi := tensor.New(gradOut.Shape()...)
@@ -112,6 +153,21 @@ func (d *Dropout) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, _ *tensor
 		}
 	}
 	return []*tensor.Tensor{gi}
+}
+
+// BackwardArena implements graph.ArenaBackwardOp; the stash, when
+// non-nil, is the scale-mask tensor from ForwardArena.
+func (d *Dropout) BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, _ []*tensor.Tensor, _ []tensor.Shape, _ *tensor.Tensor, stash any, gin []*tensor.Tensor) {
+	gi := a.GetRaw(gradOut.Shape()...)
+	if stash == nil {
+		gi.CopyFrom(gradOut)
+		gin[0] = gi
+		return
+	}
+	mask := stash.(*tensor.Tensor)
+	tensor.Mul(gi, gradOut, mask)
+	a.Put(mask)
+	gin[0] = gi
 }
 
 // NeedsInput implements graph.Op.

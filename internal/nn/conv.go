@@ -88,6 +88,18 @@ func (c *Conv) Forward(in []*tensor.Tensor) (*tensor.Tensor, any) {
 	return tensor.Conv2D(in[0], in[1], bias, c.Params), nil
 }
 
+// ForwardArena implements graph.ArenaForwardOp.
+func (c *Conv) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	var bias *tensor.Tensor
+	if c.HasBias {
+		bias = in[2]
+	}
+	if tensor.WinogradApplies(c.Params) {
+		return tensor.Conv2DWinogradArena(a, in[0], in[1], bias, c.Params), nil
+	}
+	return tensor.Conv2DArena(a, in[0], in[1], bias, c.Params), nil
+}
+
 // Backward implements graph.Op.
 func (c *Conv) Backward(gradOut *tensor.Tensor, in []*tensor.Tensor, _ *tensor.Tensor, _ any) []*tensor.Tensor {
 	x, w := in[0], in[1]
@@ -102,6 +114,21 @@ func (c *Conv) Backward(gradOut *tensor.Tensor, in []*tensor.Tensor, _ *tensor.T
 		out = append(out, gb)
 	}
 	return out
+}
+
+// BackwardArena implements graph.ArenaBackwardOp.
+func (c *Conv) BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, in []*tensor.Tensor, _ []tensor.Shape, _ *tensor.Tensor, _ any, gin []*tensor.Tensor) {
+	x, w := in[0], in[1]
+	gw := a.Get(w.Shape()...) // zeroed: the weight-gradient GEMM accumulates
+	var gb *tensor.Tensor
+	if c.HasBias {
+		gb = a.Get(w.Shape()[0])
+	}
+	gx := tensor.Conv2DBackwardArena(a, x, w, gradOut, c.Params, gw, gb, true)
+	gin[0], gin[1] = gx, gw
+	if c.HasBias {
+		gin[2] = gb
+	}
 }
 
 // NeedsInput implements graph.Op: the input feature map and the weights

@@ -32,6 +32,22 @@ func (Flatten) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, _ *tensor.Te
 	return []*tensor.Tensor{gradOut.Clone().Reshape(s...)}
 }
 
+// ForwardArena implements graph.ArenaForwardOp. No stash: the backward
+// pass recovers the input shape from the executor's static shape table.
+func (Flatten) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	s := in[0].Shape()
+	out := a.GetRaw(s[0], in[0].Elems()/s[0])
+	out.CopyFrom(in[0])
+	return out, nil
+}
+
+// BackwardArena implements graph.ArenaBackwardOp.
+func (Flatten) BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, _ []*tensor.Tensor, inShapes []tensor.Shape, _ *tensor.Tensor, _ any, gin []*tensor.Tensor) {
+	gi := a.GetRaw(inShapes[0]...)
+	gi.CopyFrom(gradOut)
+	gin[0] = gi
+}
+
 // NeedsInput implements graph.Op.
 func (Flatten) NeedsInput(int) bool { return false }
 
@@ -82,6 +98,21 @@ func (Linear) Forward(in []*tensor.Tensor) (*tensor.Tensor, any) {
 	return out, nil
 }
 
+// ForwardArena implements graph.ArenaForwardOp.
+func (Linear) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	x, w, b := in[0], in[1], in[2]
+	n, k := x.Shape()[0], w.Shape()[0]
+	out := a.GetRaw(n, k)
+	tensor.MatMulBT(out, x, w)
+	for r := 0; r < n; r++ {
+		row := out.Data()[r*k : (r+1)*k]
+		for i := range row {
+			row[i] += b.Data()[i]
+		}
+	}
+	return out, nil
+}
+
 // Backward implements graph.Op.
 func (Linear) Backward(gradOut *tensor.Tensor, in []*tensor.Tensor, _ *tensor.Tensor, _ any) []*tensor.Tensor {
 	x, w := in[0], in[1]
@@ -99,6 +130,25 @@ func (Linear) Backward(gradOut *tensor.Tensor, in []*tensor.Tensor, _ *tensor.Te
 		}
 	}
 	return []*tensor.Tensor{gx, gw, gb}
+}
+
+// BackwardArena implements graph.ArenaBackwardOp.
+func (Linear) BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, in []*tensor.Tensor, _ []tensor.Shape, _ *tensor.Tensor, _ any, gin []*tensor.Tensor) {
+	x, w := in[0], in[1]
+	n, k := gradOut.Shape()[0], gradOut.Shape()[1]
+	d := x.Shape()[1]
+	gx := a.GetRaw(n, d)
+	tensor.MatMul(gx, gradOut, w) // [N,K]@[K,D]
+	gw := a.GetRaw(k, d)
+	tensor.MatMulAT(gw, gradOut, x) // gradOutᵀ@x
+	gb := a.Get(k)                  // zeroed: row-sum accumulator
+	for r := 0; r < n; r++ {
+		row := gradOut.Data()[r*k : (r+1)*k]
+		for i, v := range row {
+			gb.Data()[i] += v
+		}
+	}
+	gin[0], gin[1], gin[2] = gx, gw, gb
 }
 
 // NeedsInput implements graph.Op: x and W are read in backward, b not.

@@ -53,6 +53,25 @@ func (m *MaxPool) Backward(gradOut *tensor.Tensor, in []*tensor.Tensor, _ *tenso
 	return []*tensor.Tensor{tensor.MaxPool2DBackward(gradOut, arg, m.Params, s.N(), s.C(), s.H(), s.W())}
 }
 
+// ForwardArena implements graph.ArenaForwardOp. Unlike the plain path,
+// it stashes the argmax tensor so the backward pass scatters directly
+// instead of re-running the pooling window search.
+func (m *MaxPool) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	out, arg := tensor.MaxPool2DArena(a, in[0], m.Params)
+	return out, arg
+}
+
+// BackwardArena implements graph.ArenaBackwardOp.
+func (m *MaxPool) BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, in []*tensor.Tensor, inShapes []tensor.Shape, _ *tensor.Tensor, stash any, gin []*tensor.Tensor) {
+	arg, _ := stash.(*tensor.Tensor)
+	if arg == nil {
+		_, arg = tensor.MaxPool2DArena(a, in[0], m.Params)
+	}
+	s := inShapes[0]
+	gin[0] = tensor.MaxPool2DBackwardArena(a, gradOut, arg, m.Params, s.N(), s.C(), s.H(), s.W())
+	a.Put(arg)
+}
+
 // NeedsInput implements graph.Op.
 func (m *MaxPool) NeedsInput(i int) bool { return true }
 
@@ -108,6 +127,18 @@ func (a *AvgPool) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, _ *tensor
 	return []*tensor.Tensor{tensor.AvgPool2DBackward(gradOut, a.Params, s.N(), s.C(), s.H(), s.W())}
 }
 
+// ForwardArena implements graph.ArenaForwardOp. No stash: the adjoint
+// recovers the input shape from the executor's static shape table.
+func (ap *AvgPool) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	return tensor.AvgPool2DArena(a, in[0], ap.Params), nil
+}
+
+// BackwardArena implements graph.ArenaBackwardOp.
+func (ap *AvgPool) BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, _ []*tensor.Tensor, inShapes []tensor.Shape, _ *tensor.Tensor, _ any, gin []*tensor.Tensor) {
+	s := inShapes[0]
+	gin[0] = tensor.AvgPool2DBackwardArena(a, gradOut, ap.Params, s.N(), s.C(), s.H(), s.W())
+}
+
 // NeedsInput implements graph.Op.
 func (a *AvgPool) NeedsInput(int) bool { return false }
 
@@ -150,6 +181,21 @@ func (GlobalAvgPool) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, _ *ten
 	s := stash.(tensor.Shape)
 	p := tensor.ConvParams{KH: s.H(), KW: s.W(), SH: s.H(), SW: s.W()}
 	return []*tensor.Tensor{tensor.AvgPool2DBackward(gradOut, p, s.N(), s.C(), s.H(), s.W())}
+}
+
+// ForwardArena implements graph.ArenaForwardOp.
+func (GlobalAvgPool) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	x := in[0]
+	s := x.Shape()
+	p := tensor.ConvParams{KH: s.H(), KW: s.W(), SH: s.H(), SW: s.W()}
+	return tensor.AvgPool2DArena(a, x, p), nil
+}
+
+// BackwardArena implements graph.ArenaBackwardOp.
+func (GlobalAvgPool) BackwardArena(a *tensor.Arena, gradOut *tensor.Tensor, _ []*tensor.Tensor, inShapes []tensor.Shape, _ *tensor.Tensor, _ any, gin []*tensor.Tensor) {
+	s := inShapes[0]
+	p := tensor.ConvParams{KH: s.H(), KW: s.W(), SH: s.H(), SW: s.W()}
+	gin[0] = tensor.AvgPool2DBackwardArena(a, gradOut, p, s.N(), s.C(), s.H(), s.W())
 }
 
 // NeedsInput implements graph.Op.

@@ -55,6 +55,24 @@ func (a *Add) Backward(gradOut *tensor.Tensor, _ []*tensor.Tensor, _ *tensor.Ten
 	return out
 }
 
+// ForwardArena implements graph.ArenaForwardOp.
+func (a *Add) ForwardArena(ar *tensor.Arena, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	out := ar.GetRaw(in[0].Shape()...)
+	out.CopyFrom(in[0])
+	for _, x := range in[1:] {
+		tensor.AXPY(out, 1, x)
+	}
+	return out, nil
+}
+
+// BackwardArena implements graph.ArenaBackwardOp: every gin entry
+// aliases gradOut; the executor copies the aliases it cannot adopt.
+func (a *Add) BackwardArena(_ *tensor.Arena, gradOut *tensor.Tensor, _ []*tensor.Tensor, _ []tensor.Shape, _ *tensor.Tensor, _ any, gin []*tensor.Tensor) {
+	for i := range gin {
+		gin[i] = gradOut
+	}
+}
+
 // NeedsInput implements graph.Op.
 func (a *Add) NeedsInput(int) bool { return false }
 

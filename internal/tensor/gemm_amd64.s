@@ -1,0 +1,103 @@
+#include "textflag.h"
+
+// func gemmKernelFMA(kc int, a, b, c *float32, ldc int)
+//
+// 6x16 SGEMM micro-kernel: C[0:6][0:16] += A·B where A is the packed
+// MR-wide k-major panel and B the packed NR-wide k-major panel.
+// Register plan: Y0..Y11 hold the twelve 8-float halves of the 6x16 C
+// tile, Y12/Y13 hold the current B row, Y14/Y15 alternate as the A
+// broadcast. Per k step: 2 B loads, 6 broadcasts, 12 FMAs — FMA-bound,
+// which is the point.
+TEXT ·gemmKernelFMA(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8            // C row stride in bytes
+
+	// Load the 6x16 C tile.
+	MOVQ    DI, R9
+	VMOVUPS (R9), Y0
+	VMOVUPS 32(R9), Y1
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y2
+	VMOVUPS 32(R9), Y3
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y4
+	VMOVUPS 32(R9), Y5
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y6
+	VMOVUPS 32(R9), Y7
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y8
+	VMOVUPS 32(R9), Y9
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y10
+	VMOVUPS 32(R9), Y11
+
+loop:
+	VMOVUPS      (BX), Y12
+	VMOVUPS      32(BX), Y13
+	VBROADCASTSS (SI), Y14
+	VFMADD231PS  Y12, Y14, Y0
+	VFMADD231PS  Y13, Y14, Y1
+	VBROADCASTSS 4(SI), Y15
+	VFMADD231PS  Y12, Y15, Y2
+	VFMADD231PS  Y13, Y15, Y3
+	VBROADCASTSS 8(SI), Y14
+	VFMADD231PS  Y12, Y14, Y4
+	VFMADD231PS  Y13, Y14, Y5
+	VBROADCASTSS 12(SI), Y15
+	VFMADD231PS  Y12, Y15, Y6
+	VFMADD231PS  Y13, Y15, Y7
+	VBROADCASTSS 16(SI), Y14
+	VFMADD231PS  Y12, Y14, Y8
+	VFMADD231PS  Y13, Y14, Y9
+	VBROADCASTSS 20(SI), Y15
+	VFMADD231PS  Y12, Y15, Y10
+	VFMADD231PS  Y13, Y15, Y11
+	ADDQ         $24, SI   // 6 floats of A
+	ADDQ         $64, BX   // 16 floats of B
+	DECQ         CX
+	JNZ          loop
+
+	// Store the tile back.
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS Y2, (DI)
+	VMOVUPS Y3, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS Y6, (DI)
+	VMOVUPS Y7, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS Y8, (DI)
+	VMOVUPS Y9, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS Y10, (DI)
+	VMOVUPS Y11, 32(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the portable micro-kernel.
+const useAsmKernel = false
+
+func gemmKernelFMA(kc int, a, b, c *float32, ldc int) {
+	panic("tensor: gemmKernelFMA unavailable on this architecture")
+}

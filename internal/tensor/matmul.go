@@ -3,69 +3,23 @@ package tensor
 import "fmt"
 
 // MatMul computes dst = a @ b for rank-2 tensors: a is [m, k], b is
-// [k, n], dst is [m, n]. Rows of the output are computed in parallel.
+// [k, n], dst is [m, n]. All three variants route through the blocked
+// packed Gemm engine (gemm.go).
 func MatMul(dst, a, b *Tensor) {
 	m, k, n := checkMatMul("MatMul", dst, a, b, false, false)
-	ad, bd, dd := a.data, b.data, dst.data
-	parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := dd[i*n : (i+1)*n]
-			clear(row)
-			arow := ad[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := bd[p*n : (p+1)*n]
-				for j := range row {
-					row[j] += av * brow[j]
-				}
-			}
-		}
-	})
+	gemm(dst.data, a.data, b.data, m, k, n, 1, 0, false, false)
 }
 
 // MatMulAT computes dst = aᵀ @ b: a is [k, m], b is [k, n], dst is [m, n].
 func MatMulAT(dst, a, b *Tensor) {
 	m, k, n := checkMatMul("MatMulAT", dst, a, b, true, false)
-	ad, bd, dd := a.data, b.data, dst.data
-	parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := dd[i*n : (i+1)*n]
-			clear(row)
-			for p := 0; p < k; p++ {
-				av := ad[p*m+i]
-				if av == 0 {
-					continue
-				}
-				brow := bd[p*n : (p+1)*n]
-				for j := range row {
-					row[j] += av * brow[j]
-				}
-			}
-		}
-	})
+	gemm(dst.data, a.data, b.data, m, k, n, 1, 0, true, false)
 }
 
 // MatMulBT computes dst = a @ bᵀ: a is [m, k], b is [n, k], dst is [m, n].
 func MatMulBT(dst, a, b *Tensor) {
 	m, k, n := checkMatMul("MatMulBT", dst, a, b, false, true)
-	ad, bd, dd := a.data, b.data, dst.data
-	parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			row := dd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var acc float32
-				for p := range arow {
-					acc += arow[p] * brow[p]
-				}
-				row[j] = acc
-			}
-		}
-	})
+	gemm(dst.data, a.data, b.data, m, k, n, 1, 0, false, true)
 }
 
 func checkMatMul(op string, dst, a, b *Tensor, transA, transB bool) (m, k, n int) {

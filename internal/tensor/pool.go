@@ -8,45 +8,71 @@ import "math"
 // the pooled tensor and the flat argmax index (into each input plane) of
 // every output element, which the backward pass consumes.
 func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int32) {
+	out, arg := MaxPool2DArena(nil, x, p)
+	idx := make([]int32, arg.Elems())
+	for i, v := range arg.data {
+		idx[i] = int32(v)
+	}
+	return out, idx
+}
+
+// MaxPool2DArena is the arena-backed max pooling. The argmax indices
+// are returned as a float32 tensor (exact for plane sizes below 2^24,
+// far above any model here) so the executor can stash them without
+// boxing and recycle them like any other activation; -1 marks windows
+// that were entirely padding.
+func MaxPool2DArena(a *Arena, x *Tensor, p ConvParams) (out, arg *Tensor) {
 	n, c, h, w, oh, ow := p.check(x)
-	out := New(n, c, oh, ow)
-	arg := make([]int32, n*c*oh*ow)
-	od, xd := out.data, x.data
-	parallelFor(n*c, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			src := xd[nc*h*w : (nc+1)*h*w]
-			dst := od[nc*oh*ow : (nc+1)*oh*ow]
-			adst := arg[nc*oh*ow : (nc+1)*oh*ow]
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := float32(math.Inf(-1))
-					bi := int32(-1)
-					for ky := 0; ky < p.KH; ky++ {
-						iy := oy*p.SH - p.Pad.Top + ky
-						if iy < 0 || iy >= h {
+	out = a.GetRaw(n, c, oh, ow)
+	arg = a.GetRaw(n, c, oh, ow)
+	perPlane := oh * ow * p.KH * p.KW
+	parallelRange(n*c, 1+parallelThreshold/perPlane, maxPoolArgs{
+		od: out.data, ad: arg.data, xd: x.data, p: p, h: h, w: w, oh: oh, ow: ow,
+	}, maxPoolPlanes)
+	return out, arg
+}
+
+type maxPoolArgs struct {
+	od, ad, xd   []float32
+	p            ConvParams
+	h, w, oh, ow int
+}
+
+func maxPoolPlanes(t maxPoolArgs, lo, hi int) {
+	p := t.p
+	h, w, oh, ow := t.h, t.w, t.oh, t.ow
+	for nc := lo; nc < hi; nc++ {
+		src := t.xd[nc*h*w : (nc+1)*h*w]
+		dst := t.od[nc*oh*ow : (nc+1)*oh*ow]
+		adst := t.ad[nc*oh*ow : (nc+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(math.Inf(-1))
+				bi := -1
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.SH - p.Pad.Top + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.SW - p.Pad.Left + kx
+						if ix < 0 || ix >= w {
 							continue
 						}
-						for kx := 0; kx < p.KW; kx++ {
-							ix := ox*p.SW - p.Pad.Left + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							if v := src[iy*w+ix]; v > best {
-								best, bi = v, int32(iy*w+ix)
-							}
+						if v := src[iy*w+ix]; v > best {
+							best, bi = v, iy*w+ix
 						}
 					}
-					if bi < 0 {
-						// Window entirely in padding: emit 0.
-						best = 0
-					}
-					dst[oy*ow+ox] = best
-					adst[oy*ow+ox] = bi
 				}
+				if bi < 0 {
+					// Window entirely in padding: emit 0.
+					best = 0
+				}
+				dst[oy*ow+ox] = best
+				adst[oy*ow+ox] = float32(bi)
 			}
 		}
-	})
-	return out, arg
+	}
 }
 
 // MaxPool2DBackward scatters gradOut back to the argmax positions
@@ -70,71 +96,133 @@ func MaxPool2DBackward(gradOut *Tensor, arg []int32, p ConvParams, n, c, h, w in
 	return gradIn
 }
 
+// MaxPool2DBackwardArena scatters gradOut back to the argmax positions
+// recorded by MaxPool2DArena.
+func MaxPool2DBackwardArena(a *Arena, gradOut, arg *Tensor, p ConvParams, n, c, h, w int) *Tensor {
+	oh, ow := p.OutSize(h, w)
+	gradIn := a.Get(n, c, h, w) // zeroed: scatter target
+	parallelRange(n*c, 1+parallelThreshold/(oh*ow), maxPoolBwdArgs{
+		gd: gradOut.data, ad: arg.data, gid: gradIn.data, hw: h * w, ohw: oh * ow,
+	}, maxPoolBwdPlanes)
+	return gradIn
+}
+
+type maxPoolBwdArgs struct {
+	gd, ad, gid []float32
+	hw, ohw     int
+}
+
+func maxPoolBwdPlanes(t maxPoolBwdArgs, lo, hi int) {
+	for nc := lo; nc < hi; nc++ {
+		src := t.gd[nc*t.ohw : (nc+1)*t.ohw]
+		asrc := t.ad[nc*t.ohw : (nc+1)*t.ohw]
+		dst := t.gid[nc*t.hw : (nc+1)*t.hw]
+		for i, g := range src {
+			if ai := int(asrc[i]); ai >= 0 {
+				dst[ai] += g
+			}
+		}
+	}
+}
+
 // AvgPool2D computes average pooling. Padded positions count as zeros
 // and the divisor is the full window size (count_include_pad), keeping
 // the operation linear, which simplifies its adjoint.
-func AvgPool2D(x *Tensor, p ConvParams) *Tensor {
+func AvgPool2D(x *Tensor, p ConvParams) *Tensor { return AvgPool2DArena(nil, x, p) }
+
+// AvgPool2DArena is AvgPool2D with the output drawn from an arena.
+func AvgPool2DArena(a *Arena, x *Tensor, p ConvParams) *Tensor {
 	n, c, h, w, oh, ow := p.check(x)
-	out := New(n, c, oh, ow)
+	out := a.GetRaw(n, c, oh, ow)
+	perPlane := oh * ow * p.KH * p.KW
+	parallelRange(n*c, 1+parallelThreshold/perPlane, avgPoolArgs{
+		od: out.data, xd: x.data, p: p, h: h, w: w, oh: oh, ow: ow,
+	}, avgPoolPlanes)
+	return out
+}
+
+type avgPoolArgs struct {
+	od, xd       []float32
+	p            ConvParams
+	h, w, oh, ow int
+}
+
+func avgPoolPlanes(t avgPoolArgs, lo, hi int) {
+	p := t.p
+	h, w, oh, ow := t.h, t.w, t.oh, t.ow
 	inv := 1 / float32(p.KH*p.KW)
-	od, xd := out.data, x.data
-	parallelFor(n*c, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			src := xd[nc*h*w : (nc+1)*h*w]
-			dst := od[nc*oh*ow : (nc+1)*oh*ow]
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var sum float32
-					for ky := 0; ky < p.KH; ky++ {
-						iy := oy*p.SH - p.Pad.Top + ky
-						if iy < 0 || iy >= h {
+	for nc := lo; nc < hi; nc++ {
+		src := t.xd[nc*h*w : (nc+1)*h*w]
+		dst := t.od[nc*oh*ow : (nc+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var sum float32
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.SH - p.Pad.Top + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.SW - p.Pad.Left + kx
+						if ix < 0 || ix >= w {
 							continue
 						}
-						for kx := 0; kx < p.KW; kx++ {
-							ix := ox*p.SW - p.Pad.Left + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							sum += src[iy*w+ix]
-						}
+						sum += src[iy*w+ix]
 					}
-					dst[oy*ow+ox] = sum * inv
 				}
+				dst[oy*ow+ox] = sum * inv
 			}
 		}
-	})
-	return out
+	}
 }
 
 // AvgPool2DBackward computes the adjoint of AvgPool2D.
 func AvgPool2DBackward(gradOut *Tensor, p ConvParams, n, c, h, w int) *Tensor {
+	return AvgPool2DBackwardArena(nil, gradOut, p, n, c, h, w)
+}
+
+// AvgPool2DBackwardArena is AvgPool2DBackward with the output drawn
+// from an arena.
+func AvgPool2DBackwardArena(a *Arena, gradOut *Tensor, p ConvParams, n, c, h, w int) *Tensor {
 	oh, ow := p.OutSize(h, w)
-	gradIn := New(n, c, h, w)
+	gradIn := a.Get(n, c, h, w) // zeroed: scatter target
+	perPlane := oh * ow * p.KH * p.KW
+	parallelRange(n*c, 1+parallelThreshold/perPlane, avgPoolBwdArgs{
+		gd: gradOut.data, gid: gradIn.data, p: p, h: h, w: w, oh: oh, ow: ow,
+	}, avgPoolBwdPlanes)
+	return gradIn
+}
+
+type avgPoolBwdArgs struct {
+	gd, gid      []float32
+	p            ConvParams
+	h, w, oh, ow int
+}
+
+func avgPoolBwdPlanes(t avgPoolBwdArgs, lo, hi int) {
+	p := t.p
+	h, w, oh, ow := t.h, t.w, t.oh, t.ow
 	inv := 1 / float32(p.KH*p.KW)
-	gd, gid := gradOut.data, gradIn.data
-	parallelFor(n*c, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			src := gd[nc*oh*ow : (nc+1)*oh*ow]
-			dst := gid[nc*h*w : (nc+1)*h*w]
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := src[oy*ow+ox] * inv
-					for ky := 0; ky < p.KH; ky++ {
-						iy := oy*p.SH - p.Pad.Top + ky
-						if iy < 0 || iy >= h {
+	for nc := lo; nc < hi; nc++ {
+		src := t.gd[nc*oh*ow : (nc+1)*oh*ow]
+		dst := t.gid[nc*h*w : (nc+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := src[oy*ow+ox] * inv
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.SH - p.Pad.Top + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.SW - p.Pad.Left + kx
+						if ix < 0 || ix >= w {
 							continue
 						}
-						for kx := 0; kx < p.KW; kx++ {
-							ix := ox*p.SW - p.Pad.Left + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							dst[iy*w+ix] += g
-						}
+						dst[iy*w+ix] += g
 					}
 				}
 			}
 		}
-	})
-	return gradIn
+	}
 }

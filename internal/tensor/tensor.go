@@ -23,6 +23,11 @@ import (
 type Tensor struct {
 	shape Shape
 	data  []float32
+	// arena, when non-nil, marks this tensor as currently vended by that
+	// Arena; Put checks and clears it, so double-Put and cross-arena Put
+	// are harmless no-ops. Aliases made with Reshape and copies made with
+	// Clone never carry ownership.
+	arena *Arena
 }
 
 // New returns a zero-filled tensor with the given shape.

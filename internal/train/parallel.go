@@ -27,12 +27,21 @@ type DataParallel struct {
 
 	replicas []*graph.ParamStore
 	execs    []*graph.Executor
+	// Per-worker arenas and batch buffers: executors on different
+	// goroutines must never share an arena's tensors, so each replica
+	// recycles through its own.
+	batchX, batchY []*tensor.Tensor
+	feeds          []graph.Feeds
 }
 
 // NewDataParallel validates and prepares the worker pool.
 func NewDataParallel(g *graph.Graph, store *graph.ParamStore, workers int) (*DataParallel, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("train: want >= 1 workers, got %d", workers)
+	}
+	img := g.FindNode("image")
+	if img == nil {
+		return nil, fmt.Errorf("train: graph has no %q input", "image")
 	}
 	dp := &DataParallel{Workers: workers, Graph: g, Store: store}
 	for w := 0; w < workers; w++ {
@@ -41,8 +50,14 @@ func NewDataParallel(g *graph.Graph, store *graph.ParamStore, workers int) (*Dat
 		if err != nil {
 			return nil, err
 		}
+		ex.UseArena(tensor.NewArena())
+		x := tensor.New(img.Shape...)
+		labels := tensor.New(img.Shape.N())
 		dp.replicas = append(dp.replicas, rep)
 		dp.execs = append(dp.execs, ex)
+		dp.batchX = append(dp.batchX, x)
+		dp.batchY = append(dp.batchY, labels)
+		dp.feeds = append(dp.feeds, graph.Feeds{"image": x, "labels": labels})
 	}
 	return dp, nil
 }
@@ -69,9 +84,9 @@ func (dp *DataParallel) Step(ds *data.Dataset, indices []int) (float64, error) {
 		go func(w int) {
 			defer wg.Done()
 			shard := indices[w*local : (w+1)*local]
-			x, labels := ds.Batch(true, shard)
+			ds.BatchInto(dp.batchX[w], dp.batchY[w], true, shard)
 			dp.replicas[w].ZeroGrads()
-			outs, err := dp.execs[w].Forward(graph.Feeds{"image": x, "labels": labels})
+			outs, err := dp.execs[w].Forward(dp.feeds[w])
 			if err != nil {
 				errs[w] = err
 				return

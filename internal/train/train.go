@@ -212,6 +212,24 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 	if cfg.RecalibrateBN != nil {
 		recalibrate = *cfg.RecalibrateBN && splitting
 	}
+
+	// One arena and one set of batch buffers serve the whole run. With a
+	// fixed graph the executor is built once too, so the steady-state
+	// step allocates nothing; stochastic splitting rebuilds graph and
+	// executor per minibatch but keeps recycling through the same arena.
+	arena := tensor.NewArena()
+	batchX := tensor.New(cfg.BatchSize, ds.Cfg.C, ds.Cfg.H, ds.Cfg.W)
+	batchY := tensor.New(cfg.BatchSize)
+	feeds := graph.Feeds{"image": batchX, "labels": batchY}
+	var trainEx *graph.Executor
+	if !split.Stochastic {
+		if trainEx, err = graph.NewExecutor(trainGraph, store); err != nil {
+			return nil, err
+		}
+		trainEx.UseArena(arena)
+		trainEx.Hook, trainEx.HookBase = hook, hookBase
+	}
+
 	// recalibrateBN refreshes the shared running statistics with
 	// whole-feature-map batches through the unsplit train-mode graph.
 	recalibrateBN := func(perm []int) error {
@@ -219,13 +237,15 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		ex.UseArena(arena)
 		passes := min(8, steps)
 		for s := 0; s < passes; s++ {
-			x, labels := ds.Batch(true, perm[s*cfg.BatchSize:(s+1)*cfg.BatchSize])
-			if _, err := ex.Forward(graph.Feeds{"image": x, "labels": labels}); err != nil {
+			ds.BatchInto(batchX, batchY, true, perm[s*cfg.BatchSize:(s+1)*cfg.BatchSize])
+			if _, err := ex.Forward(feeds); err != nil {
 				return err
 			}
 		}
+		ex.Recycle()
 		return nil
 	}
 
@@ -239,21 +259,22 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 		perm := ds.Shuffled(rng)
 		var lossSum float64
 		for s := 0; s < steps; s++ {
-			g := trainGraph
+			ex := trainEx
 			if split.Stochastic {
-				if g, err = buildTrain(); err != nil {
+				g, err := buildTrain()
+				if err != nil {
 					return nil, err
 				}
+				if ex, err = graph.NewExecutor(g, store); err != nil {
+					return nil, err
+				}
+				ex.UseArena(arena)
+				ex.Hook, ex.HookBase = hook, hookBase
 			}
-			ex, err := graph.NewExecutor(g, store)
-			if err != nil {
-				return nil, err
-			}
-			ex.Hook, ex.HookBase = hook, hookBase
 			stepStart := time.Now()
-			x, labels := ds.Batch(true, perm[s*cfg.BatchSize:(s+1)*cfg.BatchSize])
+			ds.BatchInto(batchX, batchY, true, perm[s*cfg.BatchSize:(s+1)*cfg.BatchSize])
 			store.ZeroGrads()
-			outs, err := ex.Forward(graph.Feeds{"image": x, "labels": labels})
+			outs, err := ex.Forward(feeds)
 			if err != nil {
 				return nil, err
 			}
@@ -262,10 +283,19 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 				return nil, err
 			}
 			opt.Step(store)
+			if split.Stochastic {
+				// The executor dies with this step; hand its buffers back
+				// so the next minibatch's graph reuses them.
+				ex.Recycle()
+			}
 			if cfg.Metrics != nil {
 				cfg.Metrics.Counter("train.steps").Add(1)
 				cfg.Metrics.Counter("train.samples").Add(int64(cfg.BatchSize))
 				cfg.Metrics.Histogram("train.step_seconds", nil).Observe(time.Since(stepStart).Seconds())
+				st := arena.Stats()
+				cfg.Metrics.Gauge("arena.high_water_bytes").Set(float64(st.HighWaterBytes))
+				cfg.Metrics.Gauge("arena.pooled_bytes").Set(float64(st.PooledBytes))
+				cfg.Metrics.Gauge("arena.hit_rate").Set(st.HitRate())
 			}
 		}
 		if recalibrate && cfg.EvalUnsplit {
@@ -315,18 +345,24 @@ func Evaluate(g *graph.Graph, m *models.Model, store *graph.ParamStore, ds *data
 	if !keep {
 		g.SetOutput(append(g.Outputs, logitsNode)...)
 	}
+	// One executor and one arena serve every test batch; logits are graph
+	// outputs, so they stay readable until the next Forward recycles them.
+	ex, err := graph.NewExecutor(g, store)
+	if err != nil {
+		return 0, err
+	}
+	ex.UseArena(tensor.NewArena())
+	x := tensor.New(batch, ds.Cfg.C, ds.Cfg.H, ds.Cfg.W)
+	labels := tensor.New(batch)
+	feeds := graph.Feeds{"image": x, "labels": labels}
+	idx := make([]int, batch)
 	wrong, total := 0, 0
 	for off := 0; off+batch <= ds.Cfg.TestN; off += batch {
-		idx := make([]int, batch)
 		for i := range idx {
 			idx[i] = off + i
 		}
-		x, labels := ds.Batch(false, idx)
-		ex, err := graph.NewExecutor(g, store)
-		if err != nil {
-			return 0, err
-		}
-		if _, err := ex.Forward(graph.Feeds{"image": x, "labels": labels}); err != nil {
+		ds.BatchInto(x, labels, false, idx)
+		if _, err := ex.Forward(feeds); err != nil {
 			return 0, err
 		}
 		logits := ex.Value(logitsNode)
