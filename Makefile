@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt ci golden trace bench-kernels bench-smoke
+.PHONY: build test race vet fmt ci golden trace bench-kernels bench-smoke serve-smoke bench-serve
 
 # Kernel micro-benchmarks: the CPU execution engine's hot paths
 # (blocked GEMM, im2col, convolution, full arena-backed train step).
@@ -28,7 +28,7 @@ fmt:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: vet fmt build race bench-smoke
+ci: vet fmt build race bench-smoke serve-smoke
 
 # bench-kernels measures the kernel micro-benchmarks and appends the
 # run to BENCH_kernels.json (the committed perf trajectory). Label the
@@ -42,6 +42,18 @@ bench-kernels: build
 # full measurement.
 bench-smoke:
 	@$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchtime 1x . ./internal/tensor > /dev/null
+
+# serve-smoke boots the inference server on a random port, answers one
+# self-issued request through the real HTTP surface, and drains. It
+# needs nothing beyond the splitcnn binary (no curl).
+serve-smoke:
+	$(GO) run ./cmd/splitcnn serve -smoke
+
+# bench-serve load-tests an in-process server and appends the run to
+# BENCH_serve.json (the committed serving-performance trajectory).
+bench-serve: build
+	$(GO) run ./cmd/splitcnn loadtest -spawn -c 16 -n 512 \
+		| $(GO) run ./cmd/benchjson -o BENCH_serve.json -date "$$(date +%Y-%m-%d)" -label "$(BENCH_LABEL)"
 
 # golden regenerates the trace/metrics golden files after an intended
 # change to the cost model, planner, simulator or exporters.

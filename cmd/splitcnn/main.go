@@ -16,6 +16,10 @@
 //	splitcnn trace     -model alexnet -policy hmms [-replay]
 //	    export a run's stream timeline as Chrome trace_event JSON plus
 //	    a metrics JSON
+//	splitcnn serve     -addr :8080 -arch vgg19 -snapshot w.snap
+//	    HTTP inference server with dynamic micro-batching
+//	splitcnn loadtest  -spawn -c 16 -n 512
+//	    closed-loop concurrent load test against a serve endpoint
 package main
 
 import (
@@ -58,6 +62,10 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "maxbatch":
 		err = cmdMaxBatch(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -82,6 +90,11 @@ subcommands:
   train             train a scaled-down model on synthetic data
   trace             export a run's stream timeline (Chrome trace_event
                     JSON for chrome://tracing) plus a metrics JSON
+  serve             HTTP inference server with dynamic micro-batching
+                    over the arena executor (-smoke for a CI self-test)
+  loadtest          closed-loop concurrent client for a serve endpoint
+                    (-spawn to self-host; emits a Benchmark line for
+                    cmd/benchjson -o BENCH_serve.json)
 `, experiments.IDs())
 }
 
@@ -359,6 +372,8 @@ func cmdTrain(args []string) error {
 	seed := fs.Int64("seed", 7, "random seed")
 	traceOut := fs.String("trace", "", "write a per-op execution trace (Chrome trace_event JSON) to this file")
 	metricsOut := fs.String("metrics", "", "write trainer metrics JSON to this file")
+	savePath := fs.String("save", "", "write a weight snapshot (parameters + BN running stats) after training")
+	loadPath := fs.String("load", "", "restore a weight snapshot before training")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -394,6 +409,8 @@ func cmdTrain(args []string) error {
 		Split:         core.Config{Depth: *depth, NH: grid[0], NW: grid[1], Stochastic: *stochastic, Omega: 0.2},
 		EvalUnsplit:   *stochastic,
 		Seed:          *seed,
+		SavePath:      *savePath,
+		LoadPath:      *loadPath,
 		Progress: func(epoch int, loss, errRate float64) {
 			fmt.Printf("epoch %2d  train loss %.4f  test error %.4f\n", epoch, loss, errRate)
 		},
@@ -407,6 +424,9 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("final test error: %.4f (split %d/%d convs)\n", res.FinalTestErr, res.SplitConvs, res.TotalConvs)
+	if *savePath != "" {
+		fmt.Printf("snapshot: %s\n", *savePath)
+	}
 	if rec != nil {
 		if err := rec.WriteFile(*traceOut); err != nil {
 			return err

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"splitcnn/internal/models"
+	"splitcnn/internal/serve"
+	"splitcnn/internal/trace"
+)
+
+// specFlags are the model-selection flags shared by `serve` and
+// `loadtest -spawn`.
+type specFlags struct {
+	model    *string
+	arch     *string
+	widthDiv *int
+	classes  *int
+	inC      *int
+	inH      *int
+	inW      *int
+	snapshot *string
+	maxBatch *int
+}
+
+func addSpecFlags(fs *flag.FlagSet) *specFlags {
+	return &specFlags{
+		model:    fs.String("model", "", "model description file (overrides -arch)"),
+		arch:     fs.String("arch", "vgg19", "built-in architecture"),
+		widthDiv: fs.Int("widthdiv", 16, "channel width divisor (with -arch)"),
+		classes:  fs.Int("classes", 10, "classifier width (with -arch)"),
+		inC:      fs.Int("inc", 3, "input channels (with -arch)"),
+		inH:      fs.Int("inh", 32, "input height (with -arch)"),
+		inW:      fs.Int("inw", 32, "input width (with -arch)"),
+		snapshot: fs.String("snapshot", "", "weight snapshot to restore (from `splitcnn train -save`)"),
+		maxBatch: fs.Int("maxbatch", 8, "executor batch size = batching cap"),
+	}
+}
+
+func (sf *specFlags) spec() serve.Spec {
+	s := serve.Spec{
+		Snapshot: *sf.snapshot,
+		MaxBatch: *sf.maxBatch,
+	}
+	if *sf.model != "" {
+		s.ModelFile = *sf.model
+		s.Name = filepath.Base(*sf.model)
+	} else {
+		s.Arch = *sf.arch
+		s.Name = *sf.arch
+		s.Model = models.Config{
+			Classes: *sf.classes,
+			InputC:  *sf.inC, InputH: *sf.inH, InputW: *sf.inW,
+			WidthDiv: *sf.widthDiv, BatchNorm: true,
+		}
+	}
+	return s
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	sf := addSpecFlags(fs)
+	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "max wait for a batch to fill")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x maxbatch)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request deadline (queue wait + execution)")
+	smoke := fs.Bool("smoke", false, "self-test: serve on a random port, answer one self-issued request, exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, err := serve.NewRegistry(sf.spec())
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(reg, serve.Options{
+		MaxDelay:       *maxDelay,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		Metrics:        trace.NewMetrics(),
+	})
+	bind := *addr
+	if *smoke {
+		bind = "127.0.0.1:0" // never collide with a real deployment
+	}
+	bound, err := srv.Start(bind)
+	if err != nil {
+		return err
+	}
+	inst, _ := reg.Lookup("")
+	fmt.Printf("serving %q (%dx%dx%d -> %d classes, max batch %d) on http://%s\n",
+		inst.Name, inst.C, inst.H, inst.W, inst.Classes, inst.MaxBatch, bound)
+
+	if *smoke {
+		return serveSmoke(srv, "http://"+bound.String(), inst)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// serveSmoke exercises the live server end to end through its own HTTP
+// surface — predict, healthz, metricsz — then drains. It is the CI
+// `make serve-smoke` target, so it depends on nothing but this binary.
+func serveSmoke(srv *serve.Server, base string, inst *serve.Instance) error {
+	body, _ := json.Marshal(serve.PredictRequest{Image: make([]float32, inst.ImageLen())})
+	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("smoke: predict: %w", err)
+	}
+	var pr serve.PredictResponse
+	err = json.NewDecoder(resp.Body).Decode(&pr)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("smoke: predict decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: predict status %d", resp.StatusCode)
+	}
+	if len(pr.Logits) != inst.Classes {
+		return fmt.Errorf("smoke: got %d logits, want %d", len(pr.Logits), inst.Classes)
+	}
+	for _, path := range []string{"/healthz", "/metricsz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("smoke: %s: %w", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("smoke: %s status %d", path, resp.StatusCode)
+		}
+	}
+	if n := srv.Metrics().Counter("serve.requests").Value(); n != 1 {
+		return fmt.Errorf("smoke: serve.requests = %d, want 1", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("smoke: shutdown: %w", err)
+	}
+	fmt.Printf("serve smoke ok: argmax %d, batch %d, latency %d us\n",
+		pr.Argmax, pr.BatchSize, pr.LatencyUs)
+	return nil
+}
+
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "server address (host:port)")
+	spawn := fs.Bool("spawn", false, "serve in-process on a random port and loadtest that")
+	sf := addSpecFlags(fs)
+	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "batching delay (with -spawn)")
+	conc := fs.Int("c", 8, "concurrent closed-loop clients")
+	total := fs.Int("n", 256, "total requests")
+	benchName := fs.String("bench", "ServeLoadtest", "name for the emitted Benchmark result line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target := *addr
+	if *spawn {
+		reg, err := serve.NewRegistry(sf.spec())
+		if err != nil {
+			return err
+		}
+		srv := serve.NewServer(reg, serve.Options{
+			MaxDelay:       *maxDelay,
+			QueueDepth:     2 * *total, // loadtest measures latency, not admission control
+			RequestTimeout: 60 * time.Second,
+		})
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		target = bound.String()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
+	base := "http://" + target
+
+	// Discover the default model's input geometry from the server.
+	resp, err := http.Get(base + "/v1/models")
+	if err != nil {
+		return fmt.Errorf("loadtest: %s unreachable: %w", base, err)
+	}
+	var infos []serve.ModelInfo
+	err = json.NewDecoder(resp.Body).Decode(&infos)
+	resp.Body.Close()
+	if err != nil || len(infos) == 0 {
+		return fmt.Errorf("loadtest: bad /v1/models response (err=%v)", err)
+	}
+	info := infos[0]
+	imageLen := info.Input[0] * info.Input[1] * info.Input[2]
+	body, _ := json.Marshal(serve.PredictRequest{
+		Model: info.Name, Image: make([]float32, imageLen),
+	})
+
+	type stats struct {
+		lat     []time.Duration
+		batches int64
+		errs    int
+	}
+	per := make([]stats, *conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		n := *total / *conc
+		if w < *total%*conc {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			st := &per[w]
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.errs++
+					continue
+				}
+				var pr serve.PredictResponse
+				derr := json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || derr != nil {
+					st.errs++
+					continue
+				}
+				st.lat = append(st.lat, time.Since(t0))
+				st.batches += int64(pr.BatchSize)
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lat []time.Duration
+	var batches int64
+	errs := 0
+	for i := range per {
+		lat = append(lat, per[i].lat...)
+		batches += per[i].batches
+		errs += per[i].errs
+	}
+	if len(lat) == 0 {
+		return fmt.Errorf("loadtest: all %d requests failed", *total)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, l := range lat {
+		sum += l
+	}
+	mean := sum / time.Duration(len(lat))
+	p50 := lat[len(lat)/2]
+	p99 := lat[len(lat)*99/100]
+	throughput := float64(len(lat)) / wall.Seconds()
+	avgBatch := float64(batches) / float64(len(lat))
+
+	fmt.Printf("loadtest %s: %d ok, %d errors, %d clients, %.2fs wall\n",
+		base, len(lat), errs, *conc, wall.Seconds())
+	fmt.Printf("throughput %.1f img/s, latency mean %.2fms p50 %.2fms p99 %.2fms, mean batch %.2f\n",
+		throughput, ms(mean), ms(p50), ms(p99), avgBatch)
+	// A `go test -bench`-shaped line, so the run can be appended to the
+	// benchmark log: splitcnn loadtest ... | benchjson -o BENCH_serve.json
+	fmt.Printf("Benchmark%s %8d %12.0f ns/op %12.1f img/s %10.3f p99-ms %8.2f avg-batch\n",
+		*benchName, len(lat), float64(mean.Nanoseconds()), throughput, ms(p99), avgBatch)
+	if errs > 0 {
+		return fmt.Errorf("loadtest: %d of %d requests failed", errs, *total)
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

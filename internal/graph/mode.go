@@ -1,0 +1,38 @@
+package graph
+
+// ModalOp is implemented by operations whose forward semantics differ
+// between training and inference: dropout (random mask vs identity) and
+// the batch-normalization family (batch statistics vs running
+// statistics). The graph is built in training mode by default; flipping
+// a graph (or an executor) into inference mode is what makes the
+// serving path produce deterministic, batch-composition-independent
+// outputs — each sample's result depends only on its own pixels and the
+// frozen running statistics, never on its batch neighbours.
+type ModalOp interface {
+	SetTraining(training bool)
+}
+
+// SetTraining flips every mode-aware op in the graph into training
+// (true) or inference (false) mode and reports how many ops changed
+// mode. Ops without modal behaviour are untouched.
+func (g *Graph) SetTraining(training bool) int {
+	n := 0
+	for _, node := range g.Nodes {
+		if node.Kind != KindOp {
+			continue
+		}
+		if m, ok := node.Op.(ModalOp); ok {
+			m.SetTraining(training)
+			n++
+		}
+	}
+	return n
+}
+
+// SetTraining flips the executor's graph between training and inference
+// execution modes (see Graph.SetTraining). In inference mode the
+// backward pass must not be used: modal ops stash statistics for the
+// gradient computation only while training.
+func (e *Executor) SetTraining(training bool) int {
+	return e.g.SetTraining(training)
+}

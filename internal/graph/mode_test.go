@@ -1,0 +1,138 @@
+package graph_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+// buildModal returns a small dropout -> batchnorm graph of the given
+// batch size, sharing BN state and parameters across calls.
+func buildModal(batch int, st *nn.BNState, store *graph.ParamStore) (*graph.Graph, *graph.Node) {
+	g := graph.New()
+	x := g.Input("x", tensor.Shape{batch, 2, 3, 3})
+	drop := g.Add("drop", &nn.Dropout{P: 0.5, Training: true, Rng: rand.New(rand.NewSource(1))}, x)
+	gamma := g.Param("bn.gamma", tensor.Shape{2})
+	beta := g.Param("bn.beta", tensor.Shape{2})
+	bn := g.Add("bn", nn.NewBatchNorm(st), drop, gamma, beta)
+	g.SetOutput(bn)
+	store.InitFromGraph(g, rand.New(rand.NewSource(2)), nil)
+	store.Lookup("bn.gamma").Value.Fill(1.5)
+	store.Lookup("bn.beta").Value.Fill(0.25)
+	return g, bn
+}
+
+func forwardModal(t *testing.T, g *graph.Graph, store *graph.ParamStore, x *tensor.Tensor) []float32 {
+	t.Helper()
+	ex, err := graph.NewExecutor(g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := ex.Forward(graph.Feeds{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]float32(nil), outs[0].Data()...)
+}
+
+// TestSetTrainingEvalMode checks the inference execution mode: dropout
+// becomes the identity and BatchNorm normalizes with the running
+// statistics instead of batch statistics.
+func TestSetTrainingEvalMode(t *testing.T) {
+	st := nn.NewBNState("bn", 2)
+	st.RunningMean = []float64{0.5, -1}
+	st.RunningVar = []float64{4, 0.25}
+	store := graph.NewParamStore()
+	g, _ := buildModal(1, st, store)
+
+	if n := g.SetTraining(false); n != 2 {
+		t.Fatalf("SetTraining flipped %d modal ops, want 2 (dropout + batchnorm)", n)
+	}
+
+	x := tensor.New(1, 2, 3, 3)
+	rng := rand.New(rand.NewSource(3))
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()*2 - 1
+	}
+	got := forwardModal(t, g, store, x)
+
+	// Expected: pure per-channel affine from the frozen running stats —
+	// no dropout mask, no batch statistics, no running-stat update.
+	meanBefore := append([]float64(nil), st.RunningMean...)
+	for ch := 0; ch < 2; ch++ {
+		m := float32(st.RunningMean[ch])
+		is := float32(1 / math.Sqrt(st.RunningVar[ch]+1e-5))
+		for i := 0; i < 9; i++ {
+			idx := ch*9 + i
+			want := (x.Data()[idx]-m)*is*1.5 + 0.25
+			if got[idx] != want {
+				t.Fatalf("eval output[%d] = %g, want %g", idx, got[idx], want)
+			}
+		}
+	}
+	for ch := range meanBefore {
+		if st.RunningMean[ch] != meanBefore[ch] {
+			t.Fatalf("eval forward updated running mean[%d]", ch)
+		}
+	}
+
+	// Executor-level toggle flips back to training mode: batch statistics
+	// differ from the running ones, so outputs must change.
+	ex, err := graph.NewExecutor(g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ex.SetTraining(true); n != 2 {
+		t.Fatalf("Executor.SetTraining flipped %d ops, want 2", n)
+	}
+	trained := forwardModal(t, g, store, x)
+	same := true
+	for i := range got {
+		if trained[i] != got[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("training-mode forward identical to eval-mode forward")
+	}
+}
+
+// TestEvalBatchInvariance pins the property the serving batcher relies
+// on: in inference mode each sample's output is bit-identical whether it
+// runs alone or coalesced into a larger batch.
+func TestEvalBatchInvariance(t *testing.T) {
+	st := nn.NewBNState("bn", 2)
+	st.RunningMean = []float64{0.1, -0.2}
+	st.RunningVar = []float64{1.5, 0.7}
+	store := graph.NewParamStore()
+	g1, _ := buildModal(1, st, store)
+	g4, _ := buildModal(4, st, store)
+	g1.SetTraining(false)
+	g4.SetTraining(false)
+
+	rng := rand.New(rand.NewSource(4))
+	imgs := make([]*tensor.Tensor, 3) // partial batch: 3 of 4 slots used
+	batch := tensor.New(4, 2, 3, 3)
+	for b := range imgs {
+		imgs[b] = tensor.New(1, 2, 3, 3)
+		for i := range imgs[b].Data() {
+			v := rng.Float32()*2 - 1
+			imgs[b].Data()[i] = v
+			batch.Data()[b*18+i] = v
+		}
+	}
+	big := forwardModal(t, g4, store, batch)
+	for b, img := range imgs {
+		solo := forwardModal(t, g1, store, img)
+		for i, v := range solo {
+			if big[b*18+i] != v {
+				t.Fatalf("sample %d element %d: batched %g != solo %g", b, i, big[b*18+i], v)
+			}
+		}
+	}
+}

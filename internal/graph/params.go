@@ -143,6 +143,13 @@ func (s *ParamStore) InitFromGraph(g *Graph, rng *rand.Rand, init Initializer) {
 	}
 }
 
+// GetChecked is Get with shape conflicts reported as errors instead of
+// panics, for shapes that come from external data (checkpoint and
+// weight-snapshot files).
+func (s *ParamStore) GetChecked(name string, shape tensor.Shape) (*Param, error) {
+	return s.getChecked(name, shape)
+}
+
 // getChecked is Get with shape conflicts reported as errors instead of
 // panics (used when the shape comes from external data, e.g. a
 // checkpoint file).

@@ -82,6 +82,10 @@ type Dropout struct {
 // Kind implements graph.Op.
 func (d *Dropout) Kind() string { return "dropout" }
 
+// SetTraining implements graph.ModalOp: inference mode makes dropout
+// the identity.
+func (d *Dropout) SetTraining(training bool) { d.Training = training }
+
 // PatchwiseSafe reports that dropout commutes with spatial splitting.
 func (d *Dropout) PatchwiseSafe() bool { return true }
 

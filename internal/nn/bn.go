@@ -72,6 +72,10 @@ type bnStash struct {
 	mean, invStd []float64
 }
 
+// SetTraining implements graph.ModalOp: inference mode normalizes with
+// the running statistics and never updates them.
+func (b *BatchNorm) SetTraining(training bool) { b.Training = training }
+
 // Kind implements graph.Op.
 func (b *BatchNorm) Kind() string { return "batchnorm" }
 

@@ -30,6 +30,10 @@ func NewBNReLU(state *BNState) *BNReLU {
 // Kind implements graph.Op.
 func (b *BNReLU) Kind() string { return "bnrelu" }
 
+// SetTraining implements graph.ModalOp: inference mode normalizes with
+// the running statistics and never updates them.
+func (b *BNReLU) SetTraining(training bool) { b.Training = training }
+
 // PatchwiseSafe reports that the op may be applied per spatial patch.
 func (b *BNReLU) PatchwiseSafe() bool { return true }
 

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"splitcnn/internal/trace"
+)
+
+// Submission errors, mapped by the HTTP layer to status codes.
+var (
+	// ErrQueueFull is admission-control backpressure (HTTP 429).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining means the server is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrDeadline means the request's deadline expired while it waited
+	// in the queue (HTTP 504).
+	ErrDeadline = errors.New("serve: deadline exceeded in queue")
+)
+
+// Request is one enqueued inference request.
+type Request struct {
+	// Image is the flattened C*H*W input.
+	Image []float32
+	// Deadline, when non-zero, drops the request (with ErrDeadline) if a
+	// batch has not picked it up by then.
+	Deadline time.Time
+	// Enqueued is stamped by Submit; QueueWait in the response is
+	// measured from it.
+	Enqueued time.Time
+	resp     chan Response
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	// Logits is a private copy of the model's output row (nil on error).
+	Logits []float32
+	// BatchSize is how many requests shared the executor pass — the
+	// coalescing observability hook the e2e test asserts on.
+	BatchSize int
+	// QueueWait is time spent between Submit and batch formation.
+	QueueWait time.Duration
+	Err       error
+}
+
+// BatcherOptions tune the dynamic batching scheduler.
+type BatcherOptions struct {
+	// MaxBatch caps a coalesced batch; it must not exceed the
+	// instance's executor batch size. Default: the instance's MaxBatch.
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a forming batch
+	// waits for company before a partial batch launches (default 2ms).
+	MaxDelay time.Duration
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrQueueFull (default 4 * MaxBatch).
+	QueueDepth int
+	// Metrics, when non-nil, receives serve.* instruments.
+	Metrics *trace.Metrics
+}
+
+// Batcher coalesces concurrent single-image requests into executor
+// batches: a batch launches as soon as MaxBatch requests are waiting or
+// MaxDelay after its first request, whichever comes first. A single
+// dispatcher goroutine owns the instance's executor, so the arena and
+// the graph values are never shared across goroutines.
+type Batcher struct {
+	run  func(imgs [][]float32) ([][]float32, error)
+	opts BatcherOptions
+
+	queue chan *Request
+	done  chan struct{}
+
+	mu       sync.RWMutex
+	draining bool
+}
+
+// NewBatcher starts the dispatcher for inst.
+func NewBatcher(inst *Instance, opts BatcherOptions) *Batcher {
+	if opts.MaxBatch <= 0 || opts.MaxBatch > inst.MaxBatch {
+		opts.MaxBatch = inst.MaxBatch
+	}
+	return newBatcher(inst.Run, opts)
+}
+
+// newBatcher is the injectable core (tests substitute run).
+func newBatcher(run func([][]float32) ([][]float32, error), opts BatcherOptions) *Batcher {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 8
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Millisecond
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.MaxBatch
+	}
+	b := &Batcher{
+		run:   run,
+		opts:  opts,
+		queue: make(chan *Request, opts.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// Submit enqueues r and returns a channel delivering its Response.
+// It fails fast with ErrQueueFull (bounded queue) or ErrDraining
+// (shutdown in progress); an accepted request is guaranteed a response,
+// even across Shutdown.
+func (b *Batcher) Submit(r *Request) (<-chan Response, error) {
+	r.resp = make(chan Response, 1) // dispatcher never blocks on delivery
+	r.Enqueued = time.Now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.draining {
+		b.count("serve.rejects_draining")
+		return nil, ErrDraining
+	}
+	select {
+	case b.queue <- r:
+		if m := b.opts.Metrics; m != nil {
+			m.Counter("serve.requests").Add(1)
+			m.Gauge("serve.queue_depth").Set(float64(len(b.queue)))
+		}
+		return r.resp, nil
+	default:
+		b.count("serve.rejects_queue_full")
+		return nil, ErrQueueFull
+	}
+}
+
+// Shutdown stops admission and blocks until every accepted request has
+// been answered. It is idempotent.
+func (b *Batcher) Shutdown() {
+	b.mu.Lock()
+	first := !b.draining
+	b.draining = true
+	if first {
+		// No Submit holds the read lock here, and none will pass the
+		// draining check again, so closing the queue cannot race a send.
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	<-b.done
+}
+
+func (b *Batcher) count(name string) {
+	if m := b.opts.Metrics; m != nil {
+		m.Counter(name).Add(1)
+	}
+}
+
+// dispatch is the scheduler loop: block for the first request, then
+// coalesce until the batch is full, the delay expires, or the queue is
+// drained for shutdown.
+func (b *Batcher) dispatch() {
+	defer close(b.done)
+	batch := make([]*Request, 0, b.opts.MaxBatch)
+	imgs := make([][]float32, 0, b.opts.MaxBatch)
+	for {
+		r, ok := <-b.queue
+		if !ok {
+			return // drained: queue closed and emptied
+		}
+		batch = append(batch[:0], r)
+		timer := time.NewTimer(b.opts.MaxDelay)
+	fill:
+		for len(batch) < b.opts.MaxBatch {
+			select {
+			case r2, ok := <-b.queue:
+				if !ok {
+					break fill // shutdown: run what we have
+				}
+				batch = append(batch, r2)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		if m := b.opts.Metrics; m != nil {
+			m.Gauge("serve.queue_depth").Set(float64(len(b.queue)))
+		}
+		b.runBatch(batch, imgs)
+	}
+}
+
+// runBatch expires overdue requests, executes the rest as one batch,
+// and fans the per-request logits back out.
+func (b *Batcher) runBatch(batch []*Request, imgs [][]float32) {
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if !r.Deadline.IsZero() && now.After(r.Deadline) {
+			b.count("serve.timeouts_queue")
+			r.resp <- Response{Err: ErrDeadline, QueueWait: now.Sub(r.Enqueued)}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	imgs = imgs[:0]
+	for _, r := range live {
+		imgs = append(imgs, r.Image)
+	}
+	logits, err := b.run(imgs)
+	if m := b.opts.Metrics; m != nil {
+		m.Counter("serve.batches").Add(1)
+		m.Histogram("serve.batch_size", batchSizeBuckets).Observe(float64(len(live)))
+	}
+	for i, r := range live {
+		resp := Response{BatchSize: len(live), QueueWait: now.Sub(r.Enqueued), Err: err}
+		if err == nil {
+			// Private copy: the instance's row buffers are reused by the
+			// next batch, while this response may outlive it.
+			resp.Logits = append([]float32(nil), logits[i]...)
+		}
+		r.resp <- resp
+	}
+	if m := b.opts.Metrics; m != nil {
+		for _, r := range live {
+			m.Histogram("serve.queue_seconds", nil).Observe(now.Sub(r.Enqueued).Seconds())
+		}
+	}
+}
+
+// batchSizeBuckets resolve exact batch sizes up to 32; DefBuckets are
+// seconds-flavored and useless for counts.
+var batchSizeBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}

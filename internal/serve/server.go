@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"splitcnn/internal/trace"
+)
+
+// Options tune the HTTP serving layer; zero values select defaults.
+type Options struct {
+	// MaxDelay, QueueDepth: see BatcherOptions (applied per model).
+	MaxDelay   time.Duration
+	QueueDepth int
+	// RequestTimeout is the default per-request deadline covering queue
+	// wait and execution (default 2s). A request's timeout_ms field may
+	// shorten — never extend — it.
+	RequestTimeout time.Duration
+	// Metrics receives the serve.* instruments; nil allocates a private
+	// registry (exposed at /metricsz either way).
+	Metrics *trace.Metrics
+}
+
+// Server is the HTTP inference front end: one dynamic batcher per
+// registered model behind /v1/predict, plus /v1/models, /healthz and
+// /metricsz.
+type Server struct {
+	reg      *Registry
+	opts     Options
+	met      *trace.Metrics
+	batchers map[string]*Batcher
+
+	http     *http.Server
+	listener net.Listener
+
+	mu       sync.Mutex
+	draining bool
+}
+
+// NewServer wraps a loaded registry. The server owns one batcher (and
+// therefore one dispatcher goroutine) per model.
+func NewServer(reg *Registry, opts Options) *Server {
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 2 * time.Second
+	}
+	met := opts.Metrics
+	if met == nil {
+		met = trace.NewMetrics()
+	}
+	s := &Server{reg: reg, opts: opts, met: met, batchers: make(map[string]*Batcher)}
+	for _, name := range reg.Names() {
+		inst, _ := reg.Lookup(name)
+		s.batchers[name] = NewBatcher(inst, BatcherOptions{
+			MaxDelay:   opts.MaxDelay,
+			QueueDepth: opts.QueueDepth,
+			Metrics:    met,
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0" for a random port) and
+// serves in a background goroutine. The bound address is returned.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = ln
+	go s.http.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Shutdown drains gracefully: new requests are rejected with 503, every
+// accepted request is answered, then the HTTP server stops.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for _, b := range s.batchers {
+		b.Shutdown()
+	}
+	return s.http.Shutdown(ctx)
+}
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *trace.Metrics { return s.met }
+
+// PredictRequest is the /v1/predict request body.
+type PredictRequest struct {
+	// Model selects a registry entry; empty means the default model.
+	Model string `json:"model,omitempty"`
+	// Image is the flattened C*H*W input in NCHW channel order.
+	Image []float32 `json:"image"`
+	// TimeoutMs optionally shortens the server's request timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// PredictResponse is the /v1/predict success body.
+type PredictResponse struct {
+	Model  string    `json:"model"`
+	Argmax int       `json:"argmax"`
+	Logits []float32 `json:"logits"`
+	// BatchSize is how many requests shared this executor pass.
+	BatchSize int   `json:"batch_size"`
+	QueueUs   int64 `json:"queue_us"`
+	LatencyUs int64 `json:"latency_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	start := time.Now()
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad JSON: " + err.Error()})
+		return
+	}
+	inst, err := s.reg.Lookup(req.Model)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	}
+	if len(req.Image) != inst.ImageLen() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+			"image has %d values, model %s wants %d (%dx%dx%d)",
+			len(req.Image), inst.Name, inst.ImageLen(), inst.C, inst.H, inst.W)})
+		return
+	}
+	timeout := s.opts.RequestTimeout
+	if req.TimeoutMs > 0 {
+		if t := time.Duration(req.TimeoutMs) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	deadline := start.Add(timeout)
+
+	respCh, err := s.batchers[inst.Name].Submit(&Request{Image: req.Image, Deadline: deadline})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		}
+		return
+	}
+
+	var resp Response
+	select {
+	case resp = <-respCh:
+	case <-time.After(time.Until(deadline)):
+		// The dispatcher will still answer the buffered channel; this
+		// handler just stops waiting.
+		s.met.Counter("serve.timeouts").Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"deadline exceeded"})
+		return
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"client gone"})
+		return
+	}
+	if resp.Err != nil {
+		if errors.Is(resp.Err, ErrDeadline) {
+			s.met.Counter("serve.timeouts").Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{resp.Err.Error()})
+		} else {
+			s.met.Counter("serve.errors").Add(1)
+			writeJSON(w, http.StatusInternalServerError, errorResponse{resp.Err.Error()})
+		}
+		return
+	}
+	lat := time.Since(start)
+	s.met.Histogram("serve.latency_seconds", nil).Observe(lat.Seconds())
+	argmax := 0
+	for i, v := range resp.Logits {
+		if v > resp.Logits[argmax] {
+			argmax = i
+		}
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Model:     inst.Name,
+		Argmax:    argmax,
+		Logits:    resp.Logits,
+		BatchSize: resp.BatchSize,
+		QueueUs:   resp.QueueWait.Microseconds(),
+		LatencyUs: lat.Microseconds(),
+	})
+}
+
+// ModelInfo is one /v1/models entry.
+type ModelInfo struct {
+	Name     string `json:"name"`
+	Input    [3]int `json:"input"` // C, H, W
+	Classes  int    `json:"classes"`
+	MaxBatch int    `json:"max_batch"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	infos := make([]ModelInfo, 0, len(s.reg.Names()))
+	for _, name := range s.reg.Names() {
+		inst, _ := s.reg.Lookup(name)
+		infos = append(infos, ModelInfo{
+			Name: name, Input: [3]int{inst.C, inst.H, inst.W},
+			Classes: inst.Classes, MaxBatch: inst.MaxBatch,
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetricsz refreshes the latency-quantile gauges and dumps the
+// registry (JSON by default, "kind name value" lines with ?format=text).
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	lat := s.met.Histogram("serve.latency_seconds", nil)
+	s.met.Gauge("serve.latency_p50_seconds").Set(lat.Quantile(0.5))
+	s.met.Gauge("serve.latency_p99_seconds").Set(lat.Quantile(0.99))
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.met.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.met.WriteJSON(w)
+}

@@ -1,0 +1,124 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"splitcnn/internal/graph"
+	"splitcnn/internal/nn"
+	"splitcnn/internal/tensor"
+)
+
+func fillRandom(rng *rand.Rand, store *graph.ParamStore) {
+	for _, p := range store.All() {
+		for i := range p.Value.Data() {
+			p.Value.Data()[i] = rng.Float32()*2 - 1
+		}
+	}
+}
+
+func makeFixture(rng *rand.Rand) (*graph.ParamStore, map[string]*nn.BNState) {
+	store := graph.NewParamStore()
+	store.Get("conv1.w", tensor.Shape{8, 3, 3, 3})
+	store.Get("fc.w", tensor.Shape{10, 32})
+	b := store.Get("fc.b", tensor.Shape{10})
+	b.NoDecay = true
+	fillRandom(rng, store)
+	st := nn.NewBNState("bn1", 8)
+	for i := range st.RunningMean {
+		st.RunningMean[i] = rng.NormFloat64()
+		st.RunningVar[i] = rng.Float64() + 0.5
+	}
+	st.Momentum = 0.05
+	return store, map[string]*nn.BNState{"bn1": st}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	store, bn := makeFixture(rng)
+
+	path := filepath.Join(t.TempDir(), "w.snap")
+	if err := SaveFile(path, store, bn); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a fresh, empty store plus a model-constructed BN registry.
+	store2 := graph.NewParamStore()
+	bn2 := map[string]*nn.BNState{"bn1": nn.NewBNState("bn1", 8)}
+	if err := LoadFile(path, store2, bn2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range store.All() {
+		q := store2.Lookup(p.Name)
+		if q == nil {
+			t.Fatalf("parameter %q missing after round trip", p.Name)
+		}
+		if !q.Value.Shape().Equal(p.Value.Shape()) {
+			t.Fatalf("parameter %q shape %v, want %v", p.Name, q.Value.Shape(), p.Value.Shape())
+		}
+		if q.NoDecay != p.NoDecay || q.Frozen != p.Frozen {
+			t.Fatalf("parameter %q flags changed", p.Name)
+		}
+		for i, v := range p.Value.Data() {
+			if q.Value.Data()[i] != v {
+				t.Fatalf("parameter %q element %d: %g != %g", p.Name, i, q.Value.Data()[i], v)
+			}
+		}
+	}
+	st, st2 := bn["bn1"], bn2["bn1"]
+	if st2.Momentum != st.Momentum {
+		t.Fatalf("momentum %g, want %g", st2.Momentum, st.Momentum)
+	}
+	for i := range st.RunningMean {
+		if st2.RunningMean[i] != st.RunningMean[i] || st2.RunningVar[i] != st.RunningVar[i] {
+			t.Fatalf("BN stats channel %d changed in round trip", i)
+		}
+	}
+}
+
+func TestLoadShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	store, bn := makeFixture(rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, store, bn); err != nil {
+		t.Fatal(err)
+	}
+
+	conflicting := graph.NewParamStore()
+	conflicting.Get("conv1.w", tensor.Shape{4, 3, 3, 3}) // wrong shape
+	if err := Load(bytes.NewReader(buf.Bytes()), conflicting, map[string]*nn.BNState{"bn1": nn.NewBNState("bn1", 8)}); err == nil {
+		t.Fatal("loading a conflicting parameter shape did not fail")
+	}
+
+	wrongBN := map[string]*nn.BNState{"bn1": nn.NewBNState("bn1", 4)} // wrong channels
+	if err := Load(bytes.NewReader(buf.Bytes()), graph.NewParamStore(), wrongBN); err == nil {
+		t.Fatal("loading a conflicting BN channel count did not fail")
+	}
+
+	if err := Load(bytes.NewReader(buf.Bytes()), graph.NewParamStore(), nil); err == nil {
+		t.Fatal("loading BN stats into a model without that state did not fail")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	store, bn := makeFixture(rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, store, bn); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] ^= 0xff // break the magic
+	if err := Load(bytes.NewReader(bad), graph.NewParamStore(), nil); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+
+	truncated := buf.Bytes()[:buf.Len()/2]
+	bn2 := map[string]*nn.BNState{"bn1": nn.NewBNState("bn1", 8)}
+	if err := Load(bytes.NewReader(truncated), graph.NewParamStore(), bn2); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

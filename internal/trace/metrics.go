@@ -137,6 +137,50 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation within the histogram's buckets,
+// clamped to the observed [min, max]. It returns 0 when the histogram is
+// empty. The serving layer uses this for its p50/p99 latency gauges;
+// resolution is bounded by the bucket bounds, which is the usual
+// histogram-quantile trade-off.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	var cum float64
+	lo := h.min
+	for i, n := range h.buckets {
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		if cum+float64(n) >= target {
+			if n == 0 {
+				return lo
+			}
+			frac := (target - cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(n)
+		if i < len(h.bounds) && h.bounds[i] > lo {
+			lo = h.bounds[i]
+		}
+	}
+	return h.max
+}
+
 // Counter returns (creating if needed) the named counter.
 func (m *Metrics) Counter(name string) *Counter {
 	m.mu.Lock()

@@ -106,3 +106,36 @@ func TestMetricsConcurrent(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", v)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("q", []float64{1, 2, 4, 8})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 100 uniform samples in (0, 4]: median ~2, p99 ~4.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	if q := h.Quantile(0); q != 0.04 {
+		t.Fatalf("q0 = %g, want min 0.04", q)
+	}
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("q1 = %g, want max 4", q)
+	}
+	if q := h.Quantile(0.5); q < 1.5 || q > 2.5 {
+		t.Fatalf("median = %g, want ~2", q)
+	}
+	if q := h.Quantile(0.99); q < 3 || q > 4 {
+		t.Fatalf("p99 = %g, want ~4", q)
+	}
+	// Quantiles are monotone in q.
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"splitcnn/internal/graph"
 	"splitcnn/internal/models"
 	"splitcnn/internal/nn"
+	"splitcnn/internal/snapshot"
 	"splitcnn/internal/tensor"
 	"splitcnn/internal/trace"
 )
@@ -91,6 +92,10 @@ type Config struct {
 	// train.step_seconds histograms, and per-epoch train.loss /
 	// train.test_error gauges.
 	Metrics *trace.Metrics
+	// LoadPath, when set, restores a weight snapshot (parameters + BN
+	// running statistics) before training starts; SavePath writes one
+	// after the final epoch — the artifact `splitcnn serve` loads.
+	LoadPath, SavePath string
 }
 
 // Result reports a completed run.
@@ -122,6 +127,11 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 	}
 	store := graph.NewParamStore()
 	store.InitFromGraph(base.Graph, rng, nn.KaimingInit)
+	if cfg.LoadPath != "" {
+		if err := snapshot.LoadFile(cfg.LoadPath, store, base.BNStates); err != nil {
+			return nil, fmt.Errorf("train: load snapshot: %w", err)
+		}
+	}
 
 	split := cfg.Split
 	if split.NH == 0 {
@@ -319,6 +329,11 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 		}
 	}
 	res.FinalTestErr = res.TestErr[len(res.TestErr)-1]
+	if cfg.SavePath != "" {
+		if err := snapshot.SaveFile(cfg.SavePath, store, base.BNStates); err != nil {
+			return nil, fmt.Errorf("train: save snapshot: %w", err)
+		}
+	}
 	return res, nil
 }
 
