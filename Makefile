@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt ci golden trace bench-kernels bench-smoke serve-smoke bench-serve
+.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve
 
 # Kernel micro-benchmarks: the CPU execution engine's hot paths
 # (blocked GEMM, im2col, convolution, full arena-backed train step).
@@ -28,7 +28,7 @@ fmt:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: vet fmt build race bench-smoke serve-smoke
+ci: vet fmt build race bench-smoke serve-smoke report-smoke
 
 # bench-kernels measures the kernel micro-benchmarks and appends the
 # run to BENCH_kernels.json (the committed perf trajectory). Label the
@@ -63,3 +63,9 @@ golden:
 # trace is a smoke run of the observability pipeline.
 trace: build
 	$(GO) run ./cmd/splitcnn trace -model alexnet -policy hmms -o /tmp/splitcnn-trace.json -metrics /tmp/splitcnn-metrics.json
+
+# report-smoke renders the HTML/SVG memory timeline for a split VGG-19
+# HMMS plan; the subcommand itself verifies the plotted device
+# high-water mark against the mem.device_high_water_bytes gauge.
+report-smoke:
+	$(GO) run ./cmd/splitcnn report -model vgg19 -policy hmms -split -o /tmp/splitcnn-report.html

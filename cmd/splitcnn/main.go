@@ -16,10 +16,15 @@
 //	splitcnn trace     -model alexnet -policy hmms [-replay]
 //	    export a run's stream timeline as Chrome trace_event JSON plus
 //	    a metrics JSON
+//	splitcnn report    -model vgg19 -policy hmms [-split] [-measured]
+//	    render a self-contained HTML/SVG memory-occupancy-vs-time
+//	    report, one chart per HMMS memory pool
 //	splitcnn serve     -addr :8080 -arch vgg19 -snapshot w.snap
 //	    HTTP inference server with dynamic micro-batching
 //	splitcnn loadtest  -spawn -c 16 -n 512
 //	    closed-loop concurrent load test against a serve endpoint
+//	splitcnn version
+//	    print the binary's build provenance
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 
 	"splitcnn/internal/modelfile"
 
+	"splitcnn/internal/buildinfo"
 	"splitcnn/internal/core"
 	"splitcnn/internal/costmodel"
 	"splitcnn/internal/data"
@@ -60,12 +66,16 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	case "maxbatch":
 		err = cmdMaxBatch(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "loadtest":
 		err = cmdLoadtest(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println(buildinfo.Get())
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -90,11 +100,15 @@ subcommands:
   train             train a scaled-down model on synthetic data
   trace             export a run's stream timeline (Chrome trace_event
                     JSON for chrome://tracing) plus a metrics JSON
+  report            render a self-contained HTML/SVG memory-occupancy
+                    report, one chart per HMMS memory pool (-measured
+                    to time real kernels via internal/profile)
   serve             HTTP inference server with dynamic micro-batching
                     over the arena executor (-smoke for a CI self-test)
   loadtest          closed-loop concurrent client for a serve endpoint
                     (-spawn to self-host; emits a Benchmark line for
                     cmd/benchjson -o BENCH_serve.json)
+  version           print the binary's build provenance
 `, experiments.IDs())
 }
 

@@ -7,11 +7,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -76,19 +78,40 @@ func cmdServe(args []string) error {
 	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "max wait for a batch to fill")
 	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x maxbatch)")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-request deadline (queue wait + execution)")
+	logJSON := fs.Bool("logjson", false, "emit request/lifecycle logs as JSON instead of text")
+	traceSample := fs.Float64("tracesample", 0, "fraction of requests recording wall-clock stage spans (0 disables /tracez)")
+	traceOut := fs.String("traceout", "", "write the accumulated request trace (Chrome trace_event JSON) here on shutdown")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	runtimeEvery := fs.Duration("runtimemetrics", 10*time.Second, "runtime.*/arena.* gauge sampling interval (0 disables)")
 	smoke := fs.Bool("smoke", false, "self-test: serve on a random port, answer one self-issued request, exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *smoke {
+		// The smoke run asserts on the observability surface, so it is
+		// exercised regardless of flags.
+		if *traceSample <= 0 {
+			*traceSample = 1
+		}
+		*runtimeEvery = 50 * time.Millisecond
 	}
 	reg, err := serve.NewRegistry(sf.spec())
 	if err != nil {
 		return err
 	}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
 	srv := serve.NewServer(reg, serve.Options{
-		MaxDelay:       *maxDelay,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		Metrics:        trace.NewMetrics(),
+		MaxDelay:               *maxDelay,
+		QueueDepth:             *queue,
+		RequestTimeout:         *timeout,
+		Metrics:                trace.NewMetrics(),
+		Logger:                 slog.New(handler),
+		TraceSample:            *traceSample,
+		EnablePprof:            *pprofOn,
+		RuntimeMetricsInterval: *runtimeEvery,
 	})
 	bind := *addr
 	if *smoke {
@@ -112,7 +135,17 @@ func cmdServe(args []string) error {
 	fmt.Println("draining...")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return srv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if *traceOut != "" && srv.Tracer() != nil {
+		if err := srv.Tracer().WriteFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("request trace: %s (%d sampled requests; open in chrome://tracing)\n",
+			*traceOut, srv.Tracer().Sampled())
+	}
+	return nil
 }
 
 // serveSmoke exercises the live server end to end through its own HTTP
@@ -136,7 +169,7 @@ func serveSmoke(srv *serve.Server, base string, inst *serve.Instance) error {
 	if len(pr.Logits) != inst.Classes {
 		return fmt.Errorf("smoke: got %d logits, want %d", len(pr.Logits), inst.Classes)
 	}
-	for _, path := range []string{"/healthz", "/metricsz"} {
+	for _, path := range []string{"/healthz", "/metricsz", "/tracez"} {
 		resp, err := http.Get(base + path)
 		if err != nil {
 			return fmt.Errorf("smoke: %s: %w", path, err)
@@ -149,6 +182,76 @@ func serveSmoke(srv *serve.Server, base string, inst *serve.Instance) error {
 	}
 	if n := srv.Metrics().Counter("serve.requests").Value(); n != 1 {
 		return fmt.Errorf("smoke: serve.requests = %d, want 1", n)
+	}
+
+	// Build provenance: /healthz names the toolchain that built us.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("smoke: healthz: %w", err)
+	}
+	var health struct {
+		GoVersion string `json:"go_version"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil || health.GoVersion == "" {
+		return fmt.Errorf("smoke: healthz lacks build info (err=%v)", err)
+	}
+
+	// Prometheus exposition: a text/plain Accept must negotiate the
+	// 0.0.4 format with the latency histogram's cumulative buckets.
+	req, _ := http.NewRequest(http.MethodGet, base+"/metricsz", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("smoke: prometheus scrape: %w", err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return fmt.Errorf("smoke: prometheus content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE serve_latency_seconds histogram",
+		`serve_latency_seconds_bucket{le="+Inf"} 1`,
+		"serve_requests 1",
+		"runtime_heap_alloc_bytes",
+	} {
+		if !strings.Contains(string(prom), want) {
+			return fmt.Errorf("smoke: prometheus exposition missing %q", want)
+		}
+	}
+
+	// Request tracing: the sampled request must have recorded at least
+	// four distinct serving-stage spans sharing its request ID. The
+	// handler finishes the span just after writing the response, so
+	// allow it a moment to land.
+	ok := false
+	var events []trace.Event
+	var byID map[string]map[string]bool
+	for wait := 0; wait < 100 && !ok; wait++ {
+		events = srv.Tracer().Trace().Events()
+		byID = map[string]map[string]bool{}
+		for _, e := range events {
+			if id, _ := e.Args["request"].(string); id != "" {
+				if byID[id] == nil {
+					byID[id] = map[string]bool{}
+				}
+				byID[id][e.Cat] = true
+			}
+		}
+		for _, stages := range byID {
+			if len(stages) >= 4 {
+				ok = true
+			}
+		}
+		if !ok {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !ok {
+		return fmt.Errorf("smoke: no request with >= 4 trace stages (got %d events across %d requests)",
+			len(events), len(byID))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -3,7 +3,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"splitcnn/internal/core"
 	"splitcnn/internal/hmms"
@@ -43,19 +42,9 @@ func cmdTrace(args []string) error {
 	}
 
 	// -model accepts a builtin architecture name first, then a file.
-	modelPath, arch := "", *model
-	builtin := false
-	for _, a := range models.Architectures() {
-		if a == *model {
-			builtin = true
-			break
-		}
-	}
-	if !builtin {
-		if _, statErr := os.Stat(*model); statErr != nil {
-			return fmt.Errorf("trace: -model %q is neither a builtin architecture %v nor a readable file", *model, models.Architectures())
-		}
-		modelPath, arch = *model, ""
+	modelPath, arch, err := resolveModelArg(*model)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
 	}
 	m, err := buildModel(modelPath, arch, *batch)
 	if err != nil {

@@ -1,0 +1,72 @@
+// Package buildinfo surfaces the binary's own provenance — Go toolchain
+// version and VCS revision, read from the build-info block the linker
+// embeds — so /healthz responses and `splitcnn version` can say exactly
+// which build is answering. Everything degrades to empty strings under
+// `go run` or test binaries, where no VCS stamp exists.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Info is the binary's build provenance.
+type Info struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit (short form), "" when unstamped.
+	Revision string `json:"revision,omitempty"`
+	// Time is the commit timestamp (RFC 3339), "" when unstamped.
+	Time string `json:"build_time,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+}
+
+// Get reads the build-info block. It never fails: a binary without one
+// (tests, some `go run` paths) yields just the runtime's Go version.
+func Get() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	info.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+			if len(info.Revision) > 12 {
+				info.Revision = info.Revision[:12]
+			}
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders a one-line version banner.
+func (i Info) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "splitcnn (%s", i.GoVersion)
+	if i.Revision != "" {
+		fmt.Fprintf(&b, ", rev %s", i.Revision)
+		if i.Dirty {
+			b.WriteString("+dirty")
+		}
+	}
+	if i.Time != "" {
+		fmt.Fprintf(&b, ", %s", i.Time)
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package hmms
+
+import "fmt"
+
+// PoolSample is one point of a pool's occupancy-vs-time series: the
+// state of the pool while op Op executes.
+type PoolSample struct {
+	// Op is the op index; Time its start on the step clock (seconds).
+	Op   int
+	Time float64
+	// LiveBytes is the sum of block bytes live during the op — the
+	// demand the allocator must satisfy at this moment.
+	LiveBytes int64
+	// FootprintBytes is the allocator frontier: the highest offset+size
+	// over live blocks. The gap above LiveBytes is fragmentation.
+	FootprintBytes int64
+}
+
+// PoolSeries is one pool's full occupancy timeline over a step.
+type PoolSeries struct {
+	Pool    Pool
+	Samples []PoolSample
+	// PeakLiveBytes equals MaxLiveBytes(Pool); PeakFootprintBytes equals
+	// PoolBytes[Pool] — both by construction (see Timeline), which is
+	// what lets a report cross-check its plotted high-water marks against
+	// the mem.* gauges with ==.
+	PeakLiveBytes      int64
+	PeakFootprintBytes int64
+}
+
+// Timeline replays the static plan over the program's op clock and
+// returns one occupancy series per pool. opStart[i] and opEnd[i] are op
+// i's start and end times on the step clock (e.g. from the simulator's
+// compute spans, stalls included). Each series carries one sample per
+// op plus a closing sample at the end of the last op, where every
+// lifetime has expired.
+//
+// Two identities hold exactly, not approximately. The peak of
+// FootprintBytes over time is PoolBytes[pool]: the layout's peak is
+// attained when some block is placed, and that block is live at its own
+// Start op. The peak of LiveBytes over time is MaxLiveBytes(pool): both
+// compute the same lifetime sweep, sampled at op granularity.
+func (m *MemoryPlan) Timeline(opStart, opEnd []float64) ([]PoolSeries, error) {
+	n := len(opStart)
+	if n == 0 || len(opEnd) != n {
+		return nil, fmt.Errorf("hmms: timeline needs matching op start/end times (got %d/%d)", n, len(opEnd))
+	}
+	for _, b := range m.Blocks {
+		if b.Start < 0 || b.End < b.Start || b.End >= n {
+			return nil, fmt.Errorf("hmms: block %s lifetime [%d, %d] outside program of %d ops", b.Name, b.Start, b.End, n)
+		}
+	}
+	out := make([]PoolSeries, 0, 3)
+	for _, pool := range []Pool{PoolHost, PoolDeviceParam, PoolDeviceGeneral} {
+		var sel []*Block
+		for _, b := range m.Blocks {
+			if b.Pool == pool {
+				sel = append(sel, b)
+			}
+		}
+		s := PoolSeries{Pool: pool, Samples: make([]PoolSample, 0, n+1)}
+		for i := 0; i < n; i++ {
+			var live, fp int64
+			for _, b := range sel {
+				if b.Start <= i && i <= b.End {
+					live += b.Bytes
+					if top := b.Offset + b.Bytes; top > fp {
+						fp = top
+					}
+				}
+			}
+			s.Samples = append(s.Samples, PoolSample{Op: i, Time: opStart[i], LiveBytes: live, FootprintBytes: fp})
+			if live > s.PeakLiveBytes {
+				s.PeakLiveBytes = live
+			}
+			if fp > s.PeakFootprintBytes {
+				s.PeakFootprintBytes = fp
+			}
+		}
+		s.Samples = append(s.Samples, PoolSample{Op: n, Time: opEnd[n-1]})
+		out = append(out, s)
+	}
+	return out, nil
+}

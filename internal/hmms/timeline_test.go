@@ -1,0 +1,104 @@
+package hmms_test
+
+import (
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+)
+
+// TestTimelineInvariants checks the identities the report subcommand
+// leans on: the peak of each pool's footprint series equals the pool's
+// static size, the peak of its live series equals MaxLiveBytes, and the
+// combined device footprint peaks at exactly DeviceBytes() — the value
+// RecordMetrics publishes as mem.device_high_water_bytes.
+func TestTimelineInvariants(t *testing.T) {
+	m := models.VGG19CIFAR(4, models.Config{WidthDiv: 16})
+	for _, method := range []sim.Method{sim.MethodNone, sim.MethodLayerWise, sim.MethodHMMS} {
+		t.Run(method.String(), func(t *testing.T) {
+			res, prog, mem, err := sim.PlanAndRun(m.Graph, costmodel.P100(), method, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opStart, opEnd := res.OpTimes()
+			if len(opStart) != len(prog.Ops) {
+				t.Fatalf("OpTimes returned %d ops, program has %d", len(opStart), len(prog.Ops))
+			}
+			series, err := mem.Timeline(opStart, opEnd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(series) != 3 {
+				t.Fatalf("got %d pool series, want 3", len(series))
+			}
+
+			byPool := map[hmms.Pool]hmms.PoolSeries{}
+			for _, s := range series {
+				byPool[s.Pool] = s
+
+				// Per-sample sanity: footprint bounds live from above,
+				// both are non-negative, times are non-decreasing.
+				var prev float64
+				for i, p := range s.Samples {
+					if p.FootprintBytes < p.LiveBytes {
+						t.Errorf("%s op %d: footprint %d < live %d", s.Pool, p.Op, p.FootprintBytes, p.LiveBytes)
+					}
+					if p.LiveBytes < 0 {
+						t.Errorf("%s op %d: negative live %d", s.Pool, p.Op, p.LiveBytes)
+					}
+					if i > 0 && p.Time < prev {
+						t.Errorf("%s op %d: time %v < previous %v", s.Pool, p.Op, p.Time, prev)
+					}
+					prev = p.Time
+				}
+				if len(s.Samples) != len(prog.Ops)+1 {
+					t.Errorf("%s: %d samples, want %d", s.Pool, len(s.Samples), len(prog.Ops)+1)
+				}
+				if last := s.Samples[len(s.Samples)-1]; last.LiveBytes != 0 || last.FootprintBytes != 0 {
+					t.Errorf("%s: closing sample not empty: %+v", s.Pool, last)
+				}
+
+				// The two exact identities.
+				if s.PeakFootprintBytes != mem.PoolBytes[s.Pool] {
+					t.Errorf("%s: peak footprint %d != static pool size %d", s.Pool, s.PeakFootprintBytes, mem.PoolBytes[s.Pool])
+				}
+				if want := mem.MaxLiveBytes(s.Pool); s.PeakLiveBytes != want {
+					t.Errorf("%s: peak live %d != MaxLiveBytes %d", s.Pool, s.PeakLiveBytes, want)
+				}
+			}
+
+			// Combined device footprint peaks at DeviceBytes exactly: the
+			// param pool is resident for the whole step, so the sum peaks
+			// where the general pool does.
+			param, general := byPool[hmms.PoolDeviceParam], byPool[hmms.PoolDeviceGeneral]
+			var peak int64
+			for i := range param.Samples {
+				if sum := param.Samples[i].FootprintBytes + general.Samples[i].FootprintBytes; sum > peak {
+					peak = sum
+				}
+			}
+			if peak != mem.DeviceBytes() {
+				t.Errorf("combined device peak %d != DeviceBytes %d", peak, mem.DeviceBytes())
+			}
+		})
+	}
+}
+
+// TestTimelineValidation exercises the error paths.
+func TestTimelineValidation(t *testing.T) {
+	mem := &hmms.MemoryPlan{
+		Blocks:    []*hmms.Block{{Name: "x", Pool: hmms.PoolDeviceGeneral, Start: 0, End: 5, Bytes: 4}},
+		PoolBytes: map[hmms.Pool]int64{},
+	}
+	if _, err := mem.Timeline(nil, nil); err == nil {
+		t.Error("empty op clock accepted")
+	}
+	if _, err := mem.Timeline([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("mismatched start/end lengths accepted")
+	}
+	if _, err := mem.Timeline([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("block lifetime beyond program accepted")
+	}
+}

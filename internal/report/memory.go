@@ -1,0 +1,124 @@
+package report
+
+import (
+	"fmt"
+
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/sim"
+)
+
+// MemoryReport builds the memory-occupancy-vs-time report for one
+// planned and simulated (or measured-and-replayed) training step: a
+// combined device chart plus one chart per non-empty pool, each with
+// its live and footprint series against the static plan size as the
+// dashed high-water rule.
+//
+// The returned devicePeak is the plotted combined device high-water
+// mark. By the Timeline identities it equals mem.DeviceBytes() — the
+// exact value RecordMetrics publishes as mem.device_high_water_bytes —
+// and the report subcommand cross-checks the two with == before
+// writing anything.
+func MemoryReport(title string, res *sim.Result, prog *hmms.Program, mem *hmms.MemoryPlan) (*Data, int64, error) {
+	opStart, opEnd := res.OpTimes()
+	series, err := mem.Timeline(opStart, opEnd)
+	if err != nil {
+		return nil, 0, err
+	}
+	byPool := map[hmms.Pool]hmms.PoolSeries{}
+	for _, s := range series {
+		byPool[s.Pool] = s
+	}
+
+	points := func(s hmms.PoolSeries, pick func(hmms.PoolSample) int64) []Point {
+		pts := make([]Point, 0, len(s.Samples))
+		for _, p := range s.Samples {
+			label := ""
+			if p.Op < len(prog.Ops) {
+				label = prog.Ops[p.Op].Name
+			}
+			pts = append(pts, Point{X: p.Time, Y: float64(pick(p)), Label: label})
+		}
+		return pts
+	}
+	live := func(p hmms.PoolSample) int64 { return p.LiveBytes }
+	footprint := func(p hmms.PoolSample) int64 { return p.FootprintBytes }
+
+	// Combined device occupancy: the param and general pools share the
+	// device, so their footprints sum; the dashed rule is the planner's
+	// total device budget.
+	param, general := byPool[hmms.PoolDeviceParam], byPool[hmms.PoolDeviceGeneral]
+	var devPts []Point
+	var devicePeak int64
+	for i := range param.Samples {
+		sum := param.Samples[i].FootprintBytes + general.Samples[i].FootprintBytes
+		if sum > devicePeak {
+			devicePeak = sum
+		}
+		label := ""
+		if op := param.Samples[i].Op; op < len(prog.Ops) {
+			label = prog.Ops[op].Name
+		}
+		devPts = append(devPts, Point{X: param.Samples[i].Time, Y: float64(sum), Label: label})
+	}
+
+	d := &Data{
+		Title: title,
+		Subtitle: fmt.Sprintf("method %s · %d ops · step %s · %s offloaded",
+			res.Method, len(prog.Ops), HumanSeconds(res.TotalTime), HumanBytes(float64(res.OffloadedBytes))),
+		Facts: []KV{
+			{"device high water", HumanBytes(float64(mem.DeviceBytes()))},
+			{"device-param pool", HumanBytes(float64(mem.PoolBytes[hmms.PoolDeviceParam]))},
+			{"device-general pool", HumanBytes(float64(mem.PoolBytes[hmms.PoolDeviceGeneral]))},
+			{"host pool", HumanBytes(float64(mem.PoolBytes[hmms.PoolHost]))},
+			{"no-reuse baseline", HumanBytes(float64(mem.NoReuseBytes))},
+			{"stall", HumanSeconds(res.StallTime)},
+		},
+		Charts: []Chart{{
+			Title:          "device memory (both pools)",
+			Note:           "combined allocator footprint over one training step",
+			Series:         []Series{{Name: "device footprint", Points: devPts}},
+			HighWater:      float64(mem.DeviceBytes()),
+			HighWaterLabel: "planned device memory",
+		}},
+	}
+	for _, s := range series {
+		if s.PeakFootprintBytes == 0 {
+			continue // e.g. host pool under the no-offload baseline
+		}
+		d.Charts = append(d.Charts, Chart{
+			Title: fmt.Sprintf("%s pool", s.Pool),
+			Note: fmt.Sprintf("%d blocks · %.1f%% fragmentation at peak",
+				countBlocks(mem, s.Pool), 100*mem.Fragmentation(s.Pool)),
+			Series: []Series{
+				{Name: "live bytes", Points: points(s, live)},
+				{Name: "footprint", Points: points(s, footprint)},
+			},
+			HighWater:      float64(mem.PoolBytes[s.Pool]),
+			HighWaterLabel: "static pool size",
+		})
+	}
+	d.Table = &Table{
+		Caption: "per-pool summary",
+		Header:  []string{"pool", "static size", "peak live", "fragmentation", "blocks"},
+	}
+	for _, s := range series {
+		d.Table.Rows = append(d.Table.Rows, []string{
+			s.Pool.String(),
+			HumanBytes(float64(mem.PoolBytes[s.Pool])),
+			HumanBytes(float64(s.PeakLiveBytes)),
+			fmt.Sprintf("%.1f%%", 100*mem.Fragmentation(s.Pool)),
+			fmt.Sprint(countBlocks(mem, s.Pool)),
+		})
+	}
+	return d, devicePeak, nil
+}
+
+func countBlocks(m *hmms.MemoryPlan, pool hmms.Pool) int {
+	n := 0
+	for _, b := range m.Blocks {
+		if b.Pool == pool {
+			n++
+		}
+	}
+	return n
+}

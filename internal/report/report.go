@@ -1,0 +1,376 @@
+// Package report renders self-contained HTML reports with inline SVG
+// step charts — the presentation layer for `splitcnn report`'s
+// memory-occupancy-vs-time timelines. Everything is generated from the
+// standard library: no JavaScript, no external assets, one file that
+// opens anywhere. Hover detail rides on native SVG <title> tooltips,
+// and a table view accompanies the charts so no value is color-alone.
+//
+// Colors come from a CVD-validated palette (series identity is fixed:
+// series 1 blue, series 2 orange, series 3 aqua) with light and dark
+// variants selected via prefers-color-scheme; text always wears text
+// tokens, never series colors.
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Point is one sample of a step series: the value Y holds from X until
+// the next point's X.
+type Point struct {
+	X, Y float64
+	// Label optionally annotates the hover tooltip for this interval
+	// (e.g. the executing op's name).
+	Label string
+}
+
+// Series is one named step line. Charts hold at most three; identity is
+// carried by fixed palette order, a legend, and direct labels.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart is one step chart: time on x, bytes on y, an optional dashed
+// high-water rule.
+type Chart struct {
+	Title string
+	// Note is a secondary line under the title.
+	Note   string
+	Series []Series
+	// HighWater, when positive, draws a dashed horizontal rule with
+	// HighWaterLabel — the static plan size the series must stay under.
+	HighWater      float64
+	HighWaterLabel string
+}
+
+// KV is one header fact ("model: vgg19", ...).
+type KV struct{ Key, Value string }
+
+// Table is the accessibility-mandated tabular view of the report's
+// numbers.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Data is a whole report document.
+type Data struct {
+	Title    string
+	Subtitle string
+	Facts    []KV
+	Charts   []Chart
+	Table    *Table
+}
+
+// Chart geometry (viewBox units).
+const (
+	chartW  = 880.0
+	chartH  = 280.0
+	marginL = 84.0
+	marginR = 20.0
+	marginT = 16.0
+	marginB = 36.0
+)
+
+// palette is the validated categorical order (light variants; the dark
+// variants live in the CSS custom properties). Series color follows the
+// series index, never availability or rank.
+var palette = []string{"var(--s1)", "var(--s2)", "var(--s3)"}
+
+// Render writes the report document to w.
+func Render(w io.Writer, d *Data) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", esc(d.Title))
+	b.WriteString("<style>\n" + styleCSS + "</style>\n</head>\n")
+	b.WriteString("<body data-palette=\"#2a78d6,#eb6834,#1baf7a\">\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(d.Title))
+	if d.Subtitle != "" {
+		fmt.Fprintf(&b, "<p class=\"sub\">%s</p>\n", esc(d.Subtitle))
+	}
+	if len(d.Facts) > 0 {
+		b.WriteString("<dl class=\"facts\">\n")
+		for _, f := range d.Facts {
+			fmt.Fprintf(&b, "<div><dt>%s</dt><dd>%s</dd></div>\n", esc(f.Key), esc(f.Value))
+		}
+		b.WriteString("</dl>\n")
+	}
+	for i := range d.Charts {
+		if err := renderChart(&b, &d.Charts[i]); err != nil {
+			return err
+		}
+	}
+	if t := d.Table; t != nil {
+		fmt.Fprintf(&b, "<details open>\n<summary>%s</summary>\n<table>\n<thead><tr>", esc(t.Caption))
+		for _, h := range t.Header {
+			fmt.Fprintf(&b, "<th>%s</th>", esc(h))
+		}
+		b.WriteString("</tr></thead>\n<tbody>\n")
+		for _, row := range t.Rows {
+			b.WriteString("<tr>")
+			for _, c := range row {
+				fmt.Fprintf(&b, "<td>%s</td>", esc(c))
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</tbody>\n</table>\n</details>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFile renders the report to path.
+func WriteFile(path string, d *Data) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Render(f, d); err != nil {
+		f.Close()
+		return fmt.Errorf("report: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func renderChart(b *strings.Builder, c *Chart) error {
+	if len(c.Series) == 0 || len(c.Series) > len(palette) {
+		return fmt.Errorf("report: chart %q has %d series, want 1..%d", c.Title, len(c.Series), len(palette))
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMax := c.HighWater
+	for _, s := range c.Series {
+		if len(s.Points) < 2 {
+			return fmt.Errorf("report: series %q needs at least 2 points", s.Name)
+		}
+		for _, p := range s.Points {
+			xMin, xMax = math.Min(xMin, p.X), math.Max(xMax, p.X)
+			yMax = math.Max(yMax, p.Y)
+		}
+	}
+	if xMax <= xMin || yMax <= 0 {
+		return fmt.Errorf("report: chart %q has a degenerate domain", c.Title)
+	}
+	yMax *= 1.08 // headroom so the top line and its label stay inside
+
+	plotW, plotH := chartW-marginL-marginR, chartH-marginT-marginB
+	xpos := func(x float64) float64 { return marginL + (x-xMin)/(xMax-xMin)*plotW }
+	ypos := func(y float64) float64 { return marginT + (1-y/yMax)*plotH }
+
+	fmt.Fprintf(b, "<figure>\n<figcaption><strong>%s</strong>", esc(c.Title))
+	if c.Note != "" {
+		fmt.Fprintf(b, " <span class=\"note\">%s</span>", esc(c.Note))
+	}
+	b.WriteString("</figcaption>\n")
+	if len(c.Series) >= 2 {
+		b.WriteString("<div class=\"legend\">")
+		for i, s := range c.Series {
+			fmt.Fprintf(b, "<span><i style=\"background:%s\"></i>%s</span>", palette[i], esc(s.Name))
+		}
+		b.WriteString("</div>\n")
+	}
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %g %g\" role=\"img\" aria-label=\"%s\">\n", chartW, chartH, esc(c.Title))
+
+	// Horizontal grid + byte-axis labels on nice binary-unit ticks.
+	unit, uname := byteUnit(yMax)
+	for _, tick := range niceTicks(yMax/unit, 5) {
+		y := ypos(tick * unit)
+		fmt.Fprintf(b, "<line class=\"grid\" x1=\"%g\" y1=\"%.2f\" x2=\"%g\" y2=\"%.2f\"/>\n", marginL, y, chartW-marginR, y)
+		fmt.Fprintf(b, "<text class=\"tick\" x=\"%g\" y=\"%.2f\" text-anchor=\"end\">%s %s</text>\n",
+			marginL-8, y+4, trimFloat(tick), uname)
+	}
+	// Time axis: labels only, plus the baseline.
+	tUnit, tName := 1.0, "s"
+	if xMax < 1 {
+		tUnit, tName = 1e-3, "ms"
+	}
+	for _, tick := range niceTicks((xMax-xMin)/tUnit, 5) {
+		x := xpos(xMin + tick*tUnit)
+		fmt.Fprintf(b, "<text class=\"tick\" x=\"%.2f\" y=\"%g\" text-anchor=\"middle\">%s %s</text>\n",
+			x, chartH-marginB+20, trimFloat(tick), tName)
+	}
+	fmt.Fprintf(b, "<line class=\"axis\" x1=\"%g\" y1=\"%.2f\" x2=\"%g\" y2=\"%.2f\"/>\n",
+		marginL, ypos(0), chartW-marginR, ypos(0))
+
+	// Dashed high-water rule, labeled at the right edge.
+	if c.HighWater > 0 {
+		y := ypos(c.HighWater)
+		fmt.Fprintf(b, "<line class=\"hw\" x1=\"%g\" y1=\"%.2f\" x2=\"%g\" y2=\"%.2f\"/>\n", marginL, y, chartW-marginR, y)
+		label := c.HighWaterLabel
+		if label == "" {
+			label = "high water"
+		}
+		fmt.Fprintf(b, "<text class=\"hwlabel\" x=\"%g\" y=\"%.2f\">%s · %s</text>\n",
+			marginL+6, y-6, esc(label), esc(HumanBytes(c.HighWater)))
+	}
+
+	// Step lines: each value holds until the next sample.
+	for i, s := range c.Series {
+		var path strings.Builder
+		fmt.Fprintf(&path, "M%.2f %.2f", xpos(s.Points[0].X), ypos(s.Points[0].Y))
+		for _, p := range s.Points[1:] {
+			fmt.Fprintf(&path, " H%.2f V%.2f", xpos(p.X), ypos(p.Y))
+		}
+		fmt.Fprintf(b, "<path class=\"line\" stroke=\"%s\" d=\"%s\"/>\n", palette[i], path.String())
+	}
+
+	// Direct labels at each series' peak — a colored marker carries the
+	// identity, the text wears text tokens. Series 1 sits below its
+	// line, series 2 above, so coincident peaks still read. The peak of
+	// a footprint series touches the high-water rule exactly, so labels
+	// drawn above the line keep clear of the left-anchored rule label.
+	for i, s := range c.Series {
+		peak := 0
+		for j, p := range s.Points {
+			if p.Y > s.Points[peak].Y {
+				peak = j
+			}
+		}
+		lo := marginL + 60.0
+		dy := 16.0
+		if i > 0 {
+			lo, dy = marginL+320, -8
+		}
+		px := math.Min(math.Max(xpos(s.Points[peak].X), lo), chartW-marginR-60)
+		py := ypos(s.Points[peak].Y)
+		fmt.Fprintf(b, "<circle class=\"mark\" cx=\"%.2f\" cy=\"%.2f\" r=\"3\" fill=\"%s\"/>\n",
+			px, py, palette[i])
+		fmt.Fprintf(b, "<text class=\"dlabel\" x=\"%.2f\" y=\"%.2f\" text-anchor=\"middle\">%s</text>\n",
+			px, py+dy, esc(s.Name))
+	}
+
+	// Hover layer: one transparent hit rect per sample interval with a
+	// native <title> tooltip listing every series' value there.
+	ref := c.Series[0]
+	for j := 0; j+1 < len(ref.Points); j++ {
+		x0, x1 := xpos(ref.Points[j].X), xpos(ref.Points[j+1].X)
+		if x1-x0 < 0.01 {
+			continue
+		}
+		var tip strings.Builder
+		fmt.Fprintf(&tip, "t = %s", HumanSeconds(ref.Points[j].X))
+		if l := ref.Points[j].Label; l != "" {
+			fmt.Fprintf(&tip, " · %s", l)
+		}
+		for _, s := range c.Series {
+			if j < len(s.Points) {
+				fmt.Fprintf(&tip, "\n%s: %s", s.Name, HumanBytes(s.Points[j].Y))
+			}
+		}
+		fmt.Fprintf(b, "<rect class=\"hit\" x=\"%.2f\" y=\"%g\" width=\"%.2f\" height=\"%g\"><title>%s</title></rect>\n",
+			x0, marginT, x1-x0, plotH, esc(tip.String()))
+	}
+	b.WriteString("</svg>\n</figure>\n")
+	return nil
+}
+
+// HumanBytes formats a byte count with binary units ("1.5 MiB").
+func HumanBytes(v float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for v >= 1024 && i < len(units)-1 {
+		v /= 1024
+		i++
+	}
+	return strconv.FormatFloat(math.Round(v*10)/10, 'f', -1, 64) + " " + units[i]
+}
+
+// HumanSeconds formats a duration in s/ms/µs, whichever reads best.
+func HumanSeconds(v float64) string {
+	switch {
+	case v >= 1 || v == 0:
+		return strconv.FormatFloat(math.Round(v*1000)/1000, 'f', -1, 64) + " s"
+	case v >= 1e-3:
+		return strconv.FormatFloat(math.Round(v*1e6)/1000, 'f', -1, 64) + " ms"
+	default:
+		return strconv.FormatFloat(math.Round(v*1e9)/1000, 'f', -1, 64) + " µs"
+	}
+}
+
+// byteUnit picks the binary unit for a byte axis so tick labels read
+// "2 MiB" rather than "2097152 B".
+func byteUnit(max float64) (float64, string) {
+	unit, names := 1.0, []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for max/unit >= 1024 && i < len(names)-1 {
+		unit *= 1024
+		i++
+	}
+	return unit, names[i]
+}
+
+// niceTicks returns ~n round tick values covering (0, max].
+func niceTicks(max float64, n int) []float64 {
+	raw := max / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	step := mag
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if m*mag >= raw {
+			step = m * mag
+			break
+		}
+	}
+	var ticks []float64
+	for v := step; v <= max*1.0001; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(math.Round(v*100)/100, 'f', -1, 64)
+}
+
+func esc(s string) string { return html.EscapeString(s) }
+
+// styleCSS holds the document styles: surfaces, text tokens and series
+// colors as CSS custom properties, with a selected dark mode (its own
+// palette steps, not an automatic flip).
+const styleCSS = `:root{
+  --bg:#fcfcfb; --text-1:#0b0b0b; --text-2:#52514e;
+  --grid:#e7e6e2; --axis:#b5b4ae;
+  --s1:#2a78d6; --s2:#eb6834; --s3:#1baf7a;
+}
+@media (prefers-color-scheme: dark){:root{
+  --bg:#1a1a19; --text-1:#ffffff; --text-2:#c3c2b7;
+  --grid:#33322f; --axis:#55544e;
+  --s1:#3987e5; --s2:#d95926; --s3:#199e70;
+}}
+body{background:var(--bg);color:var(--text-1);
+  font:14px/1.45 system-ui,-apple-system,sans-serif;
+  max-width:960px;margin:2rem auto;padding:0 1rem}
+h1{font-size:1.3rem;margin-bottom:.2rem}
+.sub{color:var(--text-2);margin-top:0}
+.facts{display:flex;flex-wrap:wrap;gap:.4rem 1.6rem;margin:1rem 0}
+.facts dt{color:var(--text-2);font-size:.8rem;text-transform:uppercase;letter-spacing:.04em}
+.facts dd{margin:0;font-variant-numeric:tabular-nums}
+figure{margin:1.6rem 0 0}
+figcaption{margin-bottom:.3rem}
+figcaption .note{color:var(--text-2);margin-left:.5rem}
+.legend{display:flex;gap:1.2rem;color:var(--text-2);font-size:.85rem;margin:.2rem 0}
+.legend i{display:inline-block;width:10px;height:10px;border-radius:2px;margin-right:.35rem}
+svg{width:100%;height:auto;display:block}
+svg text{font:11px system-ui,sans-serif}
+.grid{stroke:var(--grid);stroke-width:1}
+.axis{stroke:var(--axis);stroke-width:1}
+.tick{fill:var(--text-2)}
+.line{fill:none;stroke-width:2;stroke-linejoin:round}
+.hw{stroke:var(--text-2);stroke-width:1.5;stroke-dasharray:6 4}
+.hwlabel,.dlabel{fill:var(--text-2)}
+.mark{stroke:var(--bg);stroke-width:2}
+.hit{fill:transparent}
+.hit:hover{fill:var(--text-1);fill-opacity:.05}
+details{margin:2rem 0}
+summary{color:var(--text-2);cursor:pointer}
+table{border-collapse:collapse;margin-top:.6rem;font-variant-numeric:tabular-nums}
+th,td{text-align:left;padding:.25rem .9rem .25rem 0;border-bottom:1px solid var(--grid)}
+th{color:var(--text-2);font-weight:500}
+`

@@ -1,0 +1,175 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/report"
+	"splitcnn/internal/sim"
+)
+
+// svgNode is a generic XML node used to prove the inline SVG is
+// well-formed markup, not just string soup.
+type svgNode struct {
+	XMLName  xml.Name
+	Attrs    []xml.Attr `xml:",any,attr"`
+	Children []svgNode  `xml:",any"`
+	Text     string     `xml:",chardata"`
+}
+
+// extractSVGs pulls every <svg>...</svg> block out of the document.
+func extractSVGs(t *testing.T, doc string) []string {
+	t.Helper()
+	var svgs []string
+	for rest := doc; ; {
+		i := strings.Index(rest, "<svg")
+		if i < 0 {
+			break
+		}
+		j := strings.Index(rest[i:], "</svg>")
+		if j < 0 {
+			t.Fatal("unterminated <svg> block")
+		}
+		svgs = append(svgs, rest[i:i+j+len("</svg>")])
+		rest = rest[i+j:]
+	}
+	return svgs
+}
+
+func renderFixture(t *testing.T, method sim.Method) (string, int64, *hmms.MemoryPlan) {
+	t.Helper()
+	m := models.VGG19CIFAR(4, models.Config{WidthDiv: 16})
+	res, prog, mem, err := sim.PlanAndRun(m.Graph, costmodel.P100(), method, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, peak, err := report.MemoryReport("vgg19 memory timeline", res, prog, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.Render(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), peak, mem
+}
+
+// TestMemoryReportRenders renders the full HMMS report and checks the
+// document's structure: well-formed SVG, one chart per non-empty pool
+// plus the combined device chart, a dashed high-water rule, a legend
+// for multi-series charts, hover titles, dark-mode palette, and the
+// accessibility table.
+func TestMemoryReportRenders(t *testing.T) {
+	doc, peak, mem := renderFixture(t, sim.MethodHMMS)
+
+	if peak != mem.DeviceBytes() {
+		t.Errorf("plotted device peak %d != DeviceBytes %d", peak, mem.DeviceBytes())
+	}
+
+	svgs := extractSVGs(t, doc)
+	// device combined + device-param + device-general + host (HMMS
+	// offloads, so the host pool is non-empty).
+	if len(svgs) != 4 {
+		t.Fatalf("got %d charts, want 4", len(svgs))
+	}
+	for i, s := range svgs {
+		var n svgNode
+		if err := xml.Unmarshal([]byte(s), &n); err != nil {
+			t.Fatalf("chart %d is not well-formed XML: %v", i, err)
+		}
+		if !strings.Contains(s, "stroke-dasharray") && !strings.Contains(s, `class="hw"`) {
+			t.Errorf("chart %d lacks the dashed high-water rule", i)
+		}
+		if !strings.Contains(s, "<title>") {
+			t.Errorf("chart %d lacks hover titles", i)
+		}
+	}
+
+	for _, want := range []string{
+		"device memory (both pools)",
+		"device-param pool",
+		"device-general pool",
+		"host pool",
+		"live bytes", "footprint", // legend + direct labels
+		"static pool size", "planned device memory", // high-water labels
+		"prefers-color-scheme: dark", // selected dark mode
+		"data-palette=",              // validator hook
+		"per-pool summary",           // table view
+		"<script",                    // negated below
+	} {
+		if want == "<script" {
+			if strings.Contains(doc, want) {
+				t.Error("report must be JS-free")
+			}
+			continue
+		}
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	// A multi-series chart has a legend; identity is never color-alone.
+	if !strings.Contains(doc, `class="legend"`) {
+		t.Error("no legend on multi-series charts")
+	}
+}
+
+// TestMemoryReportBaseline checks the no-offload baseline skips the
+// empty host pool rather than rendering a degenerate chart.
+func TestMemoryReportBaseline(t *testing.T) {
+	doc, peak, mem := renderFixture(t, sim.MethodNone)
+	if peak != mem.DeviceBytes() {
+		t.Errorf("plotted device peak %d != DeviceBytes %d", peak, mem.DeviceBytes())
+	}
+	if got := len(extractSVGs(t, doc)); got != 3 {
+		t.Errorf("baseline report has %d charts, want 3 (no host pool)", got)
+	}
+	if strings.Contains(doc, "<strong>host pool</strong>") {
+		t.Error("baseline report renders an empty host pool chart")
+	}
+}
+
+// TestRenderValidation exercises the renderer's error paths.
+func TestRenderValidation(t *testing.T) {
+	var buf bytes.Buffer
+	for name, c := range map[string]report.Chart{
+		"no series":  {Title: "x"},
+		"one point":  {Title: "x", Series: []report.Series{{Name: "s", Points: []report.Point{{X: 0, Y: 1}}}}},
+		"degenerate": {Title: "x", Series: []report.Series{{Name: "s", Points: []report.Point{{X: 0, Y: 0}, {X: 0, Y: 0}}}}},
+	} {
+		err := report.Render(&buf, &report.Data{Title: "t", Charts: []report.Chart{c}})
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestHumanUnits pins the byte and time formatters.
+func TestHumanUnits(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0 B"}, {512, "512 B"}, {1024, "1 KiB"}, {1536, "1.5 KiB"},
+		{16123456789, "15 GiB"},
+	} {
+		if got := report.HumanBytes(tc.v); got != tc.want {
+			t.Errorf("HumanBytes(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0 s"}, {2.5, "2.5 s"}, {0.012, "12 ms"}, {42e-6, "42 µs"},
+	} {
+		if got := report.HumanSeconds(tc.v); got != tc.want {
+			t.Errorf("HumanSeconds(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

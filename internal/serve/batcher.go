@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"splitcnn/internal/trace"
@@ -29,7 +30,11 @@ type Request struct {
 	// Enqueued is stamped by Submit; QueueWait in the response is
 	// measured from it.
 	Enqueued time.Time
-	resp     chan Response
+	// Span is the request's wall-clock trace context (nil when the
+	// request is unsampled); the dispatcher records the queue, assemble
+	// and forward stage spans into it.
+	Span *trace.SpanContext
+	resp chan Response
 }
 
 // Response is the outcome of one request.
@@ -57,6 +62,9 @@ type BatcherOptions struct {
 	QueueDepth int
 	// Metrics, when non-nil, receives serve.* instruments.
 	Metrics *trace.Metrics
+	// Tracer, when non-nil, receives batch-level spans linking the
+	// coalesced request IDs (the per-request spans ride on Request.Span).
+	Tracer *trace.WallTracer
 }
 
 // Batcher coalesces concurrent single-image requests into executor
@@ -70,6 +78,9 @@ type Batcher struct {
 
 	queue chan *Request
 	done  chan struct{}
+	// batchSeq numbers launched batches; sampled requests coalesced into
+	// the same batch share the batch number in their forward-span args.
+	batchSeq atomic.Int64
 
 	mu       sync.RWMutex
 	draining bool
@@ -193,6 +204,7 @@ func (b *Batcher) runBatch(batch []*Request, imgs [][]float32) {
 	for _, r := range batch {
 		if !r.Deadline.IsZero() && now.After(r.Deadline) {
 			b.count("serve.timeouts_queue")
+			r.Span.Record("queue", r.Enqueued, now)
 			r.resp <- Response{Err: ErrDeadline, QueueWait: now.Sub(r.Enqueued)}
 			continue
 		}
@@ -201,11 +213,33 @@ func (b *Batcher) runBatch(batch []*Request, imgs [][]float32) {
 	if len(live) == 0 {
 		return
 	}
+	// Sampled requests in this batch: their queue span ends at batch
+	// formation, and their forward spans all carry the same batch number
+	// and the full list of coalesced sampled request IDs — the link that
+	// makes a coalesced executor pass legible in the trace viewer.
+	var sampledIDs []string
+	for _, r := range live {
+		if r.Span != nil {
+			sampledIDs = append(sampledIDs, r.Span.ID())
+		}
+	}
+	bid := b.batchSeq.Add(1)
 	imgs = imgs[:0]
 	for _, r := range live {
 		imgs = append(imgs, r.Image)
 	}
+	fwdStart := time.Now()
+	for _, r := range live {
+		r.Span.Record("queue", r.Enqueued, now)
+		r.Span.Record("assemble", now, fwdStart)
+	}
 	logits, err := b.run(imgs)
+	fwdEnd := time.Now()
+	for _, r := range live {
+		r.Span.RecordArgs("forward", fwdStart, fwdEnd, map[string]any{
+			"batch": bid, "batch_size": len(live), "requests": sampledIDs,
+		})
+	}
 	if m := b.opts.Metrics; m != nil {
 		m.Counter("serve.batches").Add(1)
 		m.Histogram("serve.batch_size", batchSizeBuckets).Observe(float64(len(live)))

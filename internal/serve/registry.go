@@ -72,6 +72,10 @@ type Instance struct {
 // ImageLen returns the expected flattened image length (C*H*W).
 func (in *Instance) ImageLen() int { return in.C * in.H * in.W }
 
+// ArenaStats snapshots the instance's executor arena counters, for the
+// server's aggregate arena.* occupancy gauges.
+func (in *Instance) ArenaStats() tensor.ArenaStats { return in.ex.Arena().Stats() }
+
 // Load builds the instance described by spec: construct the graph,
 // initialize (or restore) the weights, flip to inference mode, and warm
 // the arena with one full-batch forward pass so steady-state serving

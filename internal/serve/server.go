@@ -5,11 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"splitcnn/internal/buildinfo"
+	"splitcnn/internal/tensor"
 	"splitcnn/internal/trace"
 )
 
@@ -25,19 +31,43 @@ type Options struct {
 	// Metrics receives the serve.* instruments; nil allocates a private
 	// registry (exposed at /metricsz either way).
 	Metrics *trace.Metrics
+	// Logger receives structured request and lifecycle logs. Nil
+	// discards them — the library stays silent unless its owner opts in
+	// (the serve command installs a text or JSON handler via -logjson).
+	Logger *slog.Logger
+	// TraceSample in (0, 1] enables request-scoped wall-clock tracing:
+	// that fraction of /v1/predict requests record their
+	// admission/queue/batch/forward/respond stage spans into a Chrome
+	// trace, exposed at /tracez and via Tracer(). 0 disables tracing.
+	TraceSample float64
+	// TraceSeed fixes the sampling sequence (0 selects seed 1); tests
+	// use it to make fractional sampling deterministic.
+	TraceSeed int64
+	// EnablePprof mounts the stdlib net/http/pprof handlers under
+	// /debug/pprof/ on the serve mux.
+	EnablePprof bool
+	// RuntimeMetricsInterval, when positive, runs a background sampler
+	// feeding runtime.* gauges (heap, GC, goroutines) and arena.*
+	// occupancy gauges into the registry on that interval.
+	RuntimeMetricsInterval time.Duration
 }
 
 // Server is the HTTP inference front end: one dynamic batcher per
-// registered model behind /v1/predict, plus /v1/models, /healthz and
-// /metricsz.
+// registered model behind /v1/predict, plus /v1/models, /healthz,
+// /metricsz, /tracez and (opt-in) /debug/pprof.
 type Server struct {
 	reg      *Registry
 	opts     Options
 	met      *trace.Metrics
+	log      *slog.Logger
+	tracer   *trace.WallTracer
 	batchers map[string]*Batcher
+	reqID    atomic.Uint64
+	started  time.Time
 
 	http     *http.Server
 	listener net.Listener
+	sampler  *trace.RuntimeSampler
 
 	mu       sync.Mutex
 	draining bool
@@ -53,13 +83,25 @@ func NewServer(reg *Registry, opts Options) *Server {
 	if met == nil {
 		met = trace.NewMetrics()
 	}
-	s := &Server{reg: reg, opts: opts, met: met, batchers: make(map[string]*Batcher)}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Server{reg: reg, opts: opts, met: met, log: logger, batchers: make(map[string]*Batcher)}
+	if opts.TraceSample > 0 {
+		seed := opts.TraceSeed
+		if seed == 0 {
+			seed = 1
+		}
+		s.tracer = trace.NewWallTracer(opts.TraceSample, seed)
+	}
 	for _, name := range reg.Names() {
 		inst, _ := reg.Lookup(name)
 		s.batchers[name] = NewBatcher(inst, BatcherOptions{
 			MaxDelay:   opts.MaxDelay,
 			QueueDepth: opts.QueueDepth,
 			Metrics:    met,
+			Tracer:     s.tracer,
 		})
 	}
 	mux := http.NewServeMux()
@@ -67,8 +109,27 @@ func NewServer(reg *Registry, opts Options) *Server {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	if opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.http = &http.Server{Handler: mux}
 	return s
+}
+
+// arenaStats aggregates executor-arena occupancy across the registry's
+// instances — the arena.* gauge source for the runtime sampler.
+func (s *Server) arenaStats() tensor.ArenaStats {
+	var agg tensor.ArenaStats
+	for _, name := range s.reg.Names() {
+		inst, _ := s.reg.Lookup(name)
+		agg = agg.Add(inst.ArenaStats())
+	}
+	return agg
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0" for a random port) and
@@ -79,7 +140,18 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.listener = ln
+	s.started = time.Now()
+	if iv := s.opts.RuntimeMetricsInterval; iv > 0 {
+		s.sampler = trace.StartRuntimeSampler(s.met, iv, func(reg *trace.Metrics) {
+			s.arenaStats().Record("arena", reg)
+		})
+	}
 	go s.http.Serve(ln)
+	s.log.Info("serve.start", "addr", ln.Addr().String(),
+		"models", s.reg.Names(),
+		"trace_sample", s.opts.TraceSample,
+		"pprof", s.opts.EnablePprof,
+		"revision", buildinfo.Get().Revision)
 	return ln.Addr(), nil
 }
 
@@ -89,14 +161,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info("serve.drain", "uptime_s", time.Since(s.started).Seconds(),
+		"requests", s.met.Counter("serve.requests").Value())
 	for _, b := range s.batchers {
 		b.Shutdown()
 	}
-	return s.http.Shutdown(ctx)
+	s.sampler.Stop()
+	err := s.http.Shutdown(ctx)
+	s.log.Info("serve.stop", "err", err)
+	return err
 }
 
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *trace.Metrics { return s.met }
+
+// Tracer returns the request-scoped wall-clock tracer (nil when
+// Options.TraceSample is 0).
+func (s *Server) Tracer() *trace.WallTracer { return s.tracer }
 
 // PredictRequest is the /v1/predict request body.
 type PredictRequest struct {
@@ -135,20 +216,38 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	// Every request gets an ID (logs correlate on it); the tracer then
+	// decides whether this one also records wall-clock stage spans. An
+	// unsampled request carries the nil SpanContext, which no-ops.
+	id := fmt.Sprintf("req-%06d", s.reqID.Add(1))
+	sc := s.tracer.Request(id)
+	status, batchSize, model := 0, 0, ""
+	defer func() {
+		s.log.Info("request", "id", id, "model", model, "status", status,
+			"batch", batchSize, "latency_us", time.Since(start).Microseconds(),
+			"sampled", sc != nil)
+	}()
+	fail := func(code int, msg string) {
+		status = code
+		writeJSON(w, code, errorResponse{msg})
+		s.tracer.Finish(sc)
+	}
+
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"bad JSON: " + err.Error()})
+		fail(http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	inst, err := s.reg.Lookup(req.Model)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		fail(http.StatusNotFound, err.Error())
 		return
 	}
+	model = inst.Name
 	if len(req.Image) != inst.ImageLen() {
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+		fail(http.StatusBadRequest, fmt.Sprintf(
 			"image has %d values, model %s wants %d (%dx%dx%d)",
-			len(req.Image), inst.Name, inst.ImageLen(), inst.C, inst.H, inst.W)})
+			len(req.Image), inst.Name, inst.ImageLen(), inst.C, inst.H, inst.W))
 		return
 	}
 	timeout := s.opts.RequestTimeout
@@ -159,15 +258,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	deadline := start.Add(timeout)
 
-	respCh, err := s.batchers[inst.Name].Submit(&Request{Image: req.Image, Deadline: deadline})
+	// "admit" spans decode, validation and queue admission; the batcher
+	// records "queue"/"assemble"/"forward" on its dispatcher goroutine.
+	submitReq := &Request{Image: req.Image, Deadline: deadline, Span: sc}
+	respCh, err := s.batchers[inst.Name].Submit(submitReq)
+	sc.Record("admit", start, time.Now())
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+			fail(http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, ErrDraining):
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+			fail(http.StatusServiceUnavailable, err.Error())
 		default:
-			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			fail(http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
@@ -179,19 +282,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// The dispatcher will still answer the buffered channel; this
 		// handler just stops waiting.
 		s.met.Counter("serve.timeouts").Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"deadline exceeded"})
+		fail(http.StatusGatewayTimeout, "deadline exceeded")
 		return
 	case <-r.Context().Done():
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"client gone"})
+		fail(http.StatusServiceUnavailable, "client gone")
 		return
 	}
 	if resp.Err != nil {
 		if errors.Is(resp.Err, ErrDeadline) {
 			s.met.Counter("serve.timeouts").Add(1)
-			writeJSON(w, http.StatusGatewayTimeout, errorResponse{resp.Err.Error()})
+			fail(http.StatusGatewayTimeout, resp.Err.Error())
 		} else {
 			s.met.Counter("serve.errors").Add(1)
-			writeJSON(w, http.StatusInternalServerError, errorResponse{resp.Err.Error()})
+			fail(http.StatusInternalServerError, resp.Err.Error())
 		}
 		return
 	}
@@ -203,6 +306,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			argmax = i
 		}
 	}
+	status, batchSize = http.StatusOK, resp.BatchSize
+	respondStart := time.Now()
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Model:     inst.Name,
 		Argmax:    argmax,
@@ -211,6 +316,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		QueueUs:   resp.QueueWait.Microseconds(),
 		LatencyUs: lat.Microseconds(),
 	})
+	sc.Record("respond", respondStart, time.Now())
+	s.tracer.Finish(sc)
 }
 
 // ModelInfo is one /v1/models entry.
@@ -233,28 +340,64 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// healthResponse is the /healthz body: liveness plus the build
+// provenance of the answering binary.
+type healthResponse struct {
+	Status string `json:"status"`
+	buildinfo.Info
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	resp := healthResponse{Status: "ok", Info: buildinfo.Get()}
+	if !s.started.IsZero() {
+		resp.UptimeSeconds = time.Since(s.started).Seconds()
+	}
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetricsz refreshes the latency-quantile gauges and dumps the
-// registry (JSON by default, "kind name value" lines with ?format=text).
+// registry. The format is content-negotiated: JSON by default
+// (preserved for existing scrapers), Prometheus text exposition when
+// the client asks for text/plain (what a Prometheus scraper's Accept
+// header implies) or ?format=prom, and the legacy "kind name value"
+// lines with ?format=text.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	lat := s.met.Histogram("serve.latency_seconds", nil)
 	s.met.Gauge("serve.latency_p50_seconds").Set(lat.Quantile(0.5))
 	s.met.Gauge("serve.latency_p99_seconds").Set(lat.Quantile(0.99))
-	if r.URL.Query().Get("format") == "text" {
+	format := r.URL.Query().Get("format")
+	accept := r.Header.Get("Accept")
+	switch {
+	case format == "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		s.met.WriteText(w)
+	case format == "prom" || (format == "" && strings.Contains(accept, "text/plain")):
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.WritePrometheus(w)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		s.met.WriteJSON(w)
+	}
+}
+
+// handleTracez dumps the request-scoped wall-clock trace accumulated so
+// far as Chrome trace_event JSON — the live-serving counterpart of
+// `splitcnn trace`'s simulated timelines.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			"request tracing disabled (start with a trace sample rate > 0)"})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	s.met.WriteJSON(w)
+	s.tracer.Trace().WriteJSON(w)
 }

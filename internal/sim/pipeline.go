@@ -44,11 +44,23 @@ func Plan(g *graph.Graph, dev costmodel.DeviceSpec, m Method, limit float64) (*h
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	plan, mem, err := PlanFromProgram(prog, m, limit)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return prog, plan, mem, nil
+}
+
+// PlanFromProgram is Plan for a program built elsewhere — the entry
+// point for measured programs (internal/profile.BuildProgram), which
+// drive the identical planner pipeline from real layer timings.
+func PlanFromProgram(prog *hmms.Program, m Method, limit float64) (*hmms.OffloadPlan, *hmms.MemoryPlan, error) {
 	assign := hmms.AssignStorage(prog, hmms.DefaultStorageOpts())
 	if limit < 0 {
 		limit = prog.TheoreticalOffloadLimit()
 	}
 	var plan *hmms.OffloadPlan
+	var err error
 	switch m {
 	case MethodNone:
 		plan = hmms.PlanNone()
@@ -60,9 +72,9 @@ func Plan(g *graph.Graph, dev costmodel.DeviceSpec, m Method, limit float64) (*h
 		err = fmt.Errorf("sim: unknown method %d", int(m))
 	}
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return prog, plan, hmms.PlanMemory(prog, assign, plan, hmms.FirstFit), nil
+	return plan, hmms.PlanMemory(prog, assign, plan, hmms.FirstFit), nil
 }
 
 // PlanAndRun executes the whole HMMS pipeline for one graph — Plan

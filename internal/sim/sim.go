@@ -69,6 +69,21 @@ func (r *Result) EmitTrace(rec trace.Recorder) {
 	}
 }
 
+// OpTimes extracts the per-op start/end times from the step's compute
+// lane, in op order — the op clock hmms.(*MemoryPlan).Timeline replays
+// a memory plan against. Compute spans are appended in execution order,
+// which for the in-order stream is op-index order.
+func (r *Result) OpTimes() (start, end []float64) {
+	for _, s := range r.Spans {
+		if s.Stream != "compute" {
+			continue
+		}
+		start = append(start, s.Start)
+		end = append(end, s.End)
+	}
+	return start, end
+}
+
 // RecordMetrics publishes the step's headline numbers into a metrics
 // registry. The sim.stall_seconds and mem-side gauges are recorded
 // from the exact float64/int64 fields of Result, so a JSON dump of the

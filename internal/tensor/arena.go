@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"sync"
+
+	"splitcnn/internal/trace"
 )
 
 // Arena is a size-bucketed free list of tensor storage. It is the host
@@ -132,6 +134,29 @@ func (s ArenaStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Add accumulates another arena's counters — how a process with one
+// arena per executor (the serving registry, the data-parallel trainer)
+// reports a single aggregate occupancy.
+func (s ArenaStats) Add(o ArenaStats) ArenaStats {
+	return ArenaStats{
+		Gets: s.Gets + o.Gets, Hits: s.Hits + o.Hits,
+		InUseBytes:     s.InUseBytes + o.InUseBytes,
+		HighWaterBytes: s.HighWaterBytes + o.HighWaterBytes,
+		PooledBytes:    s.PooledBytes + o.PooledBytes,
+	}
+}
+
+// Record publishes the snapshot as gauges under prefix (conventionally
+// "arena"): <prefix>.in_use_bytes, .high_water_bytes, .pooled_bytes and
+// .hit_rate — the arena-occupancy series the runtime sampler and the
+// trainer both feed.
+func (s ArenaStats) Record(prefix string, reg *trace.Metrics) {
+	reg.Gauge(prefix + ".in_use_bytes").Set(float64(s.InUseBytes))
+	reg.Gauge(prefix + ".high_water_bytes").Set(float64(s.HighWaterBytes))
+	reg.Gauge(prefix + ".pooled_bytes").Set(float64(s.PooledBytes))
+	reg.Gauge(prefix + ".hit_rate").Set(s.HitRate())
 }
 
 // Stats returns a snapshot of the arena's counters. A nil arena reports

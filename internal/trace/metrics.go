@@ -139,17 +139,19 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile estimates the q-th quantile (q in [0, 1]) of the observed
 // distribution by linear interpolation within the histogram's buckets,
-// clamped to the observed [min, max]. It returns 0 when the histogram is
-// empty. The serving layer uses this for its p50/p99 latency gauges;
-// resolution is bounded by the bucket bounds, which is the usual
-// histogram-quantile trade-off.
+// clamped to the observed [min, max]. Edge cases are total: an empty
+// histogram returns 0 for every q (never NaN), and q outside [0, 1] —
+// including NaN — clamps to the observed min/max rather than
+// extrapolating. The serving layer uses this for its p50/p99 latency
+// gauges; resolution is bounded by the bucket bounds, which is the
+// usual histogram-quantile trade-off.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if q <= 0 || math.IsNaN(q) {
 		return h.min
 	}
 	if q >= 1 {

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -137,5 +138,43 @@ func TestHistogramQuantile(t *testing.T) {
 			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
 		}
 		prev = v
+	}
+}
+
+// TestHistogramQuantileEmptyNeverNaN pins the empty-histogram contract:
+// every q — in range, out of range, or NaN — returns exactly 0.
+func TestHistogramQuantileEmptyNeverNaN(t *testing.T) {
+	h := NewMetrics().Histogram("empty", nil)
+	for _, q := range []float64{math.NaN(), math.Inf(-1), -1, 0, 0.5, 0.99, 1, 2, math.Inf(1)} {
+		v := h.Quantile(q)
+		if math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) on empty histogram = NaN", q)
+		}
+		if v != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %g, want 0", q, v)
+		}
+	}
+}
+
+// TestHistogramQuantileClampsOutOfRange pins the clamping contract on a
+// populated histogram: q below 0 (and NaN) returns the observed min, q
+// above 1 the observed max — never an extrapolated or NaN value.
+func TestHistogramQuantileClampsOutOfRange(t *testing.T) {
+	h := NewMetrics().Histogram("clamp", []float64{1, 10})
+	for _, v := range []float64{0.25, 3, 7, 42} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{math.Inf(-1), -5, -0.001, 0} {
+		if v := h.Quantile(q); v != 0.25 {
+			t.Fatalf("Quantile(%v) = %g, want min 0.25", q, v)
+		}
+	}
+	for _, q := range []float64{1, 1.001, 5, math.Inf(1)} {
+		if v := h.Quantile(q); v != 42 {
+			t.Fatalf("Quantile(%v) = %g, want max 42", q, v)
+		}
+	}
+	if v := h.Quantile(math.NaN()); v != 0.25 {
+		t.Fatalf("Quantile(NaN) = %g, want min 0.25 (clamped)", v)
 	}
 }

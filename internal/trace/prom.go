@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`. Metric names are sanitized to the Prometheus
+// grammar (the registry's dotted names become underscored:
+// "serve.latency_seconds" → "serve_latency_seconds"). Families are
+// emitted in sorted name order, so the output is deterministic and can
+// be pinned by a golden test.
+//
+// Scraping is tear-free at the instrument level: the snapshot locks
+// each instrument once, so a concurrent Observe never yields a bucket
+// row inconsistent with its _count.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	d := m.snapshot()
+
+	type family struct {
+		name string
+		emit func(io.Writer, string) error
+	}
+	fams := make([]family, 0, len(d.Counters)+len(d.Gauges)+len(d.Histograms))
+
+	for name, v := range d.Counters {
+		v := v
+		fams = append(fams, family{promName(name), func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, v)
+			return err
+		}})
+	}
+	for name, v := range d.Gauges {
+		v := v
+		fams = append(fams, family{promName(name), func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(v))
+			return err
+		}})
+	}
+	for name, h := range d.Histograms {
+		h := h
+		fams = append(fams, family{promName(name), func(w io.Writer, n string) error {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+				return err
+			}
+			var cum int64
+			for i, b := range h.Bounds {
+				cum += h.Buckets[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.Buckets[len(h.Bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count)
+			return err
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.emit(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry name onto the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 the way Prometheus expects: shortest
+// re-parsing decimal, with the spelled-out specials.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

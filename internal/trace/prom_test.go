@@ -1,0 +1,104 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"splitcnn/internal/trace"
+)
+
+// promFixture populates a registry with one instrument of each kind at
+// fixed values, including the serve.latency_seconds histogram the
+// /metricsz acceptance criterion names. Everything is deterministic, so
+// the exposition bytes can be pinned by a golden file.
+func promFixture() *trace.Metrics {
+	m := trace.NewMetrics()
+	m.Counter("serve.requests").Add(64)
+	m.Counter("serve.rejects_queue_full").Add(3)
+	m.Gauge("mem.device_high_water_bytes").Set(16123456789)
+	m.Gauge("serve.latency_p99_seconds").Set(0.01875)
+	h := m.Histogram("serve.latency_seconds", nil)
+	for _, v := range []float64{5e-7, 3e-4, 3e-4, 2e-3, 0.05, 0.05, 2.5} {
+		h.Observe(v)
+	}
+	m.Histogram("serve.batch_size", []float64{1, 2, 4, 8}).Observe(3)
+	return m
+}
+
+// TestGoldenPrometheusExposition pins the Prometheus text exposition of
+// the fixture registry byte for byte: name sanitization, sorted family
+// order, cumulative buckets, _sum/_count. Regenerate with
+// `go test ./internal/trace -update` after an intended format change.
+func TestGoldenPrometheusExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promFixture().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Spot checks independent of the golden file, matching the
+	// acceptance criterion: serve_latency histogram buckets are present
+	// and cumulative up to +Inf == count.
+	for _, want := range []string{
+		"# TYPE serve_latency_seconds histogram",
+		`serve_latency_seconds_bucket{le="0.001"} 3`,
+		`serve_latency_seconds_bucket{le="+Inf"} 7`,
+		"serve_latency_seconds_count 7",
+		"serve_requests 64",
+		"mem_device_high_water_bytes 1.6123456789e+10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "prometheus_exposition.txt", buf.Bytes())
+}
+
+// TestPrometheusConcurrentScrapes is the tear test: scrapes interleaved
+// with traffic must race-cleanly produce internally consistent
+// histogram families (+Inf bucket == _count on every scrape).
+func TestPrometheusConcurrentScrapes(t *testing.T) {
+	m := trace.NewMetrics()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Counter("serve.requests").Add(1)
+				m.Gauge("serve.queue_depth").Set(float64(i % 8))
+				m.Histogram("serve.latency_seconds", nil).Observe(float64(i%100) * 1e-4)
+			}
+		}(g)
+	}
+	for scrape := 0; scrape < 50; scrape++ {
+		var buf bytes.Buffer
+		if err := m.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var inf, count string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if v, ok := strings.CutPrefix(line, `serve_latency_seconds_bucket{le="+Inf"} `); ok {
+				inf = v
+			}
+			if v, ok := strings.CutPrefix(line, "serve_latency_seconds_count "); ok {
+				count = v
+			}
+		}
+		if inf == "" || count == "" {
+			continue // histogram not created yet
+		}
+		if inf != count {
+			t.Fatalf("scrape %d tore: +Inf bucket %s != count %s", scrape, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRuntimeSampler checks that the sampler populates the runtime.*
+// gauges immediately, keeps ticking, runs extra hooks, and stops
+// cleanly (twice — Stop is idempotent).
+func TestRuntimeSampler(t *testing.T) {
+	m := NewMetrics()
+	hooked := false
+	s := StartRuntimeSampler(m, 10*time.Millisecond, func(reg *Metrics) {
+		hooked = true
+		reg.Gauge("extra.gauge").Set(7)
+	})
+	// The first sample is synchronous, so gauges exist before any tick.
+	if v := m.Gauge("runtime.heap_alloc_bytes").Value(); v <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %v, want > 0", v)
+	}
+	if v := m.Gauge("runtime.goroutines").Value(); v < 1 {
+		t.Errorf("runtime.goroutines = %v, want >= 1", v)
+	}
+	if !hooked || m.Gauge("extra.gauge").Value() != 7 {
+		t.Error("extra sample hook did not run")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Counter("runtime.samples").Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := m.Counter("runtime.samples").Value(); n < 2 {
+		t.Errorf("sampler did not tick: %d samples", n)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	var nilSampler *RuntimeSampler
+	nilSampler.Stop()
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilSpanContextIsSafe pins the no-op contract of the unsampled
+// context: every method works on nil, so call sites never branch.
+func TestNilSpanContextIsSafe(t *testing.T) {
+	var sc *SpanContext
+	if sc.ID() != "" {
+		t.Error("nil context ID not empty")
+	}
+	sc.Record("x", time.Now(), time.Now())
+	sc.RecordArgs("y", time.Now(), time.Now(), map[string]any{"k": 1})
+	sc.StartSpan("z")()
+	if sc.Spans() != nil {
+		t.Error("nil context returned spans")
+	}
+	var w *WallTracer
+	if c := w.Request("id"); c != nil {
+		t.Error("nil tracer sampled a request")
+	}
+	w.Finish(nil)
+	if w.Sampled() != 0 {
+		t.Error("nil tracer counted samples")
+	}
+}
+
+// TestWallTracerExportsRequestSpans checks the end-to-end contract the
+// serving acceptance test relies on: every stage span of a sampled
+// request lands in the Chrome trace with the request ID in its args,
+// one lane per stage.
+func TestWallTracerExportsRequestSpans(t *testing.T) {
+	w := NewWallTracer(1, 1)
+	sc := w.Request("req-42")
+	if sc == nil {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+	if sc.ID() != "req-42" {
+		t.Fatalf("ID = %q", sc.ID())
+	}
+	base := time.Now()
+	stages := []string{"admit", "queue", "assemble", "forward", "respond"}
+	for i, name := range stages {
+		sc.Record(name, base.Add(time.Duration(i)*time.Millisecond),
+			base.Add(time.Duration(i+1)*time.Millisecond))
+	}
+	sc.RecordArgs("forward.batch", base, base.Add(time.Millisecond),
+		map[string]any{"size": 3})
+	w.Finish(sc)
+
+	events := w.Trace().Events()
+	if len(events) != len(stages)+1 {
+		t.Fatalf("got %d events, want %d", len(events), len(stages)+1)
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		if e.Args["request"] != "req-42" {
+			t.Errorf("event %q args = %v, want request req-42", e.Name, e.Args)
+		}
+		if e.Dur <= 0 {
+			t.Errorf("event %q has non-positive duration %v", e.Name, e.Dur)
+		}
+		seen[e.Cat] = true
+	}
+	for _, name := range stages {
+		if !seen[name] {
+			t.Errorf("no event on stage lane %q", name)
+		}
+	}
+	// Extra args survive alongside the request ID.
+	found := false
+	for _, e := range events {
+		if e.Cat == "forward.batch" {
+			found = true
+			if e.Args["size"] != 3 {
+				t.Errorf("forward.batch args = %v, want size 3", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Error("forward.batch span missing")
+	}
+	if w.Sampled() != 1 {
+		t.Errorf("Sampled = %d, want 1", w.Sampled())
+	}
+}
+
+// TestWallTracerSamplingRate checks the probabilistic sampler: rate 0
+// samples nothing, rate 1 everything, and a fractional rate with a
+// fixed seed samples a deterministic, plausible share.
+func TestWallTracerSamplingRate(t *testing.T) {
+	w0 := NewWallTracer(0, 1)
+	w1 := NewWallTracer(1, 1)
+	wHalf := NewWallTracer(0.5, 1)
+	for i := 0; i < 1000; i++ {
+		if w0.Request("a") != nil {
+			t.Fatal("rate-0 tracer sampled a request")
+		}
+		if w1.Request("b") == nil {
+			t.Fatal("rate-1 tracer dropped a request")
+		}
+		wHalf.Request("c")
+	}
+	if n := wHalf.Sampled(); n < 400 || n > 600 {
+		t.Errorf("rate-0.5 sampled %d of 1000", n)
+	}
+	// Same seed, same decisions.
+	wAgain := NewWallTracer(0.5, 1)
+	for i := 0; i < 1000; i++ {
+		wAgain.Request("c")
+	}
+	if wAgain.Sampled() != wHalf.Sampled() {
+		t.Errorf("sampling not deterministic under a fixed seed: %d vs %d",
+			wAgain.Sampled(), wHalf.Sampled())
+	}
+}

@@ -63,6 +63,7 @@ type Trace struct {
 type span struct {
 	stream, name string
 	start, end   float64
+	args         map[string]any
 }
 
 // Well-known stream names get fixed thread IDs so that exported traces
@@ -83,13 +84,21 @@ func New() *Trace {
 
 // Span implements Recorder.
 func (t *Trace) Span(stream, name string, start, end float64) {
+	t.SpanArgs(stream, name, start, end, nil)
+}
+
+// SpanArgs is Span with per-event arguments — rendered into the trace
+// event's "args" object, where chrome://tracing shows them in the
+// selection pane. The serving tracer uses this to link a batch span to
+// the request IDs it coalesced.
+func (t *Trace) SpanArgs(stream, name string, start, end float64, args map[string]any) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.tids[stream]; !ok {
 		t.tids[stream] = len(t.tids)
 		t.streams = append(t.streams, stream)
 	}
-	t.spans = append(t.spans, span{stream: stream, name: name, start: start, end: end})
+	t.spans = append(t.spans, span{stream: stream, name: name, start: start, end: end, args: args})
 }
 
 // Len returns the number of recorded spans.
@@ -123,6 +132,7 @@ func (t *Trace) Events() []Event {
 			Dur:  (s.end - s.start) * 1e6,
 			PID:  t.pid,
 			TID:  t.tids[s.stream],
+			Args: s.args,
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {

@@ -302,10 +302,7 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 				cfg.Metrics.Counter("train.steps").Add(1)
 				cfg.Metrics.Counter("train.samples").Add(int64(cfg.BatchSize))
 				cfg.Metrics.Histogram("train.step_seconds", nil).Observe(time.Since(stepStart).Seconds())
-				st := arena.Stats()
-				cfg.Metrics.Gauge("arena.high_water_bytes").Set(float64(st.HighWaterBytes))
-				cfg.Metrics.Gauge("arena.pooled_bytes").Set(float64(st.PooledBytes))
-				cfg.Metrics.Gauge("arena.hit_rate").Set(st.HitRate())
+				arena.Stats().Record("arena", cfg.Metrics)
 			}
 		}
 		if recalibrate && cfg.EvalUnsplit {
