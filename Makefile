@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve
+.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve train-smoke
 
 # Kernel micro-benchmarks: the CPU execution engine's hot paths
-# (blocked GEMM, im2col, convolution, full arena-backed train step).
-KERNEL_BENCH = MatMul$$|Im2Col$$|TrainStep$$|Conv2DForward$$|GemmSquare|ConvIm2Col3x3$$|ConvWinograd3x3$$
+# (blocked GEMM, im2col, convolution, full arena-backed train step —
+# with and without step telemetry).
+KERNEL_BENCH = MatMul$$|Im2Col$$|TrainStep$$|TrainStepSteplog$$|Conv2DForward$$|GemmSquare|ConvIm2Col3x3$$|ConvWinograd3x3$$
 
 build:
 	$(GO) build ./...
@@ -28,7 +29,7 @@ fmt:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: vet fmt build race bench-smoke serve-smoke report-smoke
+ci: vet fmt build race bench-smoke serve-smoke report-smoke train-smoke
 
 # bench-kernels measures the kernel micro-benchmarks and appends the
 # run to BENCH_kernels.json (the committed perf trajectory). Label the
@@ -63,6 +64,18 @@ golden:
 # trace is a smoke run of the observability pipeline.
 trace: build
 	$(GO) run ./cmd/splitcnn trace -model alexnet -policy hmms -o /tmp/splitcnn-trace.json -metrics /tmp/splitcnn-metrics.json
+
+# train-smoke checks the training-observability pipeline end to end: a
+# tiny 2-epoch run streams per-step telemetry with the anomaly guards
+# armed (-checksteplog fails on empty or malformed JSONL; a guard trip
+# exits non-zero by itself), then the training report page renders from
+# the emitted stream.
+train-smoke:
+	$(GO) run ./cmd/splitcnn train -epochs 2 -train 128 -test 64 \
+		-steplog /tmp/splitcnn-steplog.jsonl -checksteplog \
+		-guards -flight /tmp/splitcnn-flight.json
+	$(GO) run ./cmd/splitcnn report -train /tmp/splitcnn-steplog.jsonl \
+		-o /tmp/splitcnn-train.html
 
 # report-smoke renders the HTML/SVG memory timeline for a split VGG-19
 # HMMS plan; the subcommand itself verifies the plotted device

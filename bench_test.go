@@ -24,6 +24,7 @@ import (
 	"splitcnn/internal/nn"
 	"splitcnn/internal/sim"
 	"splitcnn/internal/tensor"
+	"splitcnn/internal/trace"
 	"splitcnn/internal/train"
 )
 
@@ -381,6 +382,77 @@ func BenchmarkTrainStep(b *testing.B) {
 			b.Fatal(err)
 		}
 		opt.Step(store)
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm the arena and free lists
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkTrainStepSteplog is BenchmarkTrainStep with the step
+// telemetry path turned on: the per-step Norms pass plus one JSONL
+// record to a discarded sink — exactly what `splitcnn train -steplog`
+// adds to each optimizer step. Compare against BenchmarkTrainStep to
+// price the telemetry (<5% on warmed steps is the budget).
+func BenchmarkTrainStepSteplog(b *testing.B) {
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	const batch = 8
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New()
+	x := g.Input("image", tensor.Shape{batch, 3, 32, 32})
+	labels := g.Input("labels", tensor.Shape{batch})
+	w1 := g.Param("c1.w", tensor.Shape{16, 3, 3, 3})
+	b1 := g.Param("c1.b", tensor.Shape{16})
+	c1 := g.Add("c1", nn.NewConv(3, 1, 1), x, w1, b1)
+	r1 := g.Add("r1", nn.ReLU{}, c1)
+	mp := g.Add("mp", nn.NewMaxPool(2, 2), r1)
+	gap := g.Add("gap", nn.GlobalAvgPool{}, mp)
+	fl := g.Add("fl", nn.Flatten{}, gap)
+	wf := g.Param("fc.w", tensor.Shape{10, 16})
+	bf := g.Param("fc.b", tensor.Shape{10})
+	fc := g.Add("fc", nn.Linear{}, fl, wf, bf)
+	loss := g.Add("loss", nn.SoftmaxCrossEntropy{}, fc, labels)
+	g.SetOutput(loss)
+	store := graph.NewParamStore()
+	store.InitFromGraph(g, rng, nn.KaimingInit)
+	ex, err := graph.NewExecutor(g, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex.UseArena(tensor.NewArena())
+	opt := &train.SGD{LR: 0.01, Momentum: 0.9}
+	xt := tensor.New(batch, 3, 32, 32)
+	yt := tensor.New(batch)
+	xt.RandNormal(rng, 1)
+	for i := range yt.Data() {
+		yt.Data()[i] = float32(i % 10)
+	}
+	feeds := graph.Feeds{"image": xt, "labels": yt}
+	log := trace.NewStepLog(io.Discard)
+	stepNo := 0
+	step := func() {
+		store.ZeroGrads()
+		outs, err := ex.Forward(feeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ex.Backward(); err != nil {
+			b.Fatal(err)
+		}
+		opt.Step(store)
+		stepNo++
+		gradNorm, paramNorm := train.Norms(store)
+		if err := log.Step(trace.StepRecord{
+			Step: stepNo, Loss: float64(outs[0].Data()[0]),
+			GradNorm: gradNorm, ParamNorm: paramNorm, LR: opt.LR,
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for i := 0; i < 3; i++ {
 		step() // warm the arena and free lists

@@ -11,14 +11,20 @@
 //	splitcnn transform -arch vgg19 -depth 0.5 -nh 2 -nw 2
 //	    show what the Split-CNN graph transformation does to a model
 //	splitcnn train     -arch vgg19 -epochs 6 [-depth 0.5 -splits 4
-//	    -stochastic]
-//	    train a scaled-down model on the synthetic CIFAR-like dataset
+//	    -stochastic] [-steplog run.jsonl -guards -listen :8080
+//	    -calibrate]
+//	    train a scaled-down model on the synthetic CIFAR-like dataset,
+//	    optionally streaming per-step telemetry, arming anomaly guards
+//	    with a flight recorder, serving a live dashboard, and reporting
+//	    cost-model drift
 //	splitcnn trace     -model alexnet -policy hmms [-replay]
 //	    export a run's stream timeline as Chrome trace_event JSON plus
 //	    a metrics JSON
 //	splitcnn report    -model vgg19 -policy hmms [-split] [-measured]
 //	    render a self-contained HTML/SVG memory-occupancy-vs-time
-//	    report, one chart per HMMS memory pool
+//	    report, one chart per HMMS memory pool; -train run.jsonl
+//	    renders the training page (loss, grad norms, step time) from a
+//	    steplog stream instead
 //	splitcnn serve     -addr :8080 -arch vgg19 -snapshot w.snap
 //	    HTTP inference server with dynamic micro-batching
 //	splitcnn loadtest  -spawn -c 16 -n 512
@@ -98,11 +104,16 @@ subcommands:
   transform         inspect the Split-CNN graph transformation
   maxbatch          search the largest trainable batch on a device
   train             train a scaled-down model on synthetic data
+                    (-steplog for per-step telemetry JSONL, -guards for
+                    NaN/Inf + explosion guards with a flight recorder,
+                    -listen for a live dashboard, -calibrate for
+                    plan-vs-actual op-time drift)
   trace             export a run's stream timeline (Chrome trace_event
                     JSON for chrome://tracing) plus a metrics JSON
   report            render a self-contained HTML/SVG memory-occupancy
                     report, one chart per HMMS memory pool (-measured
-                    to time real kernels via internal/profile)
+                    to time real kernels via internal/profile), or the
+                    training page from a steplog (-train run.jsonl)
   serve             HTTP inference server with dynamic micro-batching
                     over the arena executor (-smoke for a CI self-test)
   loadtest          closed-loop concurrent client for a serve endpoint
@@ -388,6 +399,15 @@ func cmdTrain(args []string) error {
 	metricsOut := fs.String("metrics", "", "write trainer metrics JSON to this file")
 	savePath := fs.String("save", "", "write a weight snapshot (parameters + BN running stats) after training")
 	loadPath := fs.String("load", "", "restore a weight snapshot before training")
+	stepLogOut := fs.String("steplog", "", "write per-step telemetry (loss, grad/param norms, step time) as JSONL to this file")
+	checkLog := fs.Bool("checksteplog", false, "validate the -steplog file after the run (schema + monotonic steps)")
+	listen := fs.String("listen", "", "serve the live trainer dashboard (/, /metricsz, /healthz) on this address")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof on the dashboard (with -listen)")
+	guards := fs.Bool("guards", false, "arm the NaN/Inf and gradient-explosion guards; a trip halts the run")
+	maxGrad := fs.Float64("maxgradnorm", 0, "gradient-explosion threshold on the global grad L2 norm (with -guards; 0 = 1e6)")
+	flight := fs.String("flight", "", "write the flight-recorder dump (recent steps + op spans) here when a guard trips")
+	calibrate := fs.Bool("calibrate", false, "after the run, report measured-vs-predicted per-op drift against the -device cost model")
+	dev := deviceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -408,7 +428,7 @@ func cmdTrain(args []string) error {
 	if *traceOut != "" {
 		rec = trace.New()
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listen != "" || *calibrate {
 		met = trace.NewMetrics()
 	}
 	cfg := train.Config{
@@ -433,11 +453,63 @@ func cmdTrain(args []string) error {
 		cfg.Recorder = rec
 	}
 	cfg.Metrics = met
+	if *guards || *flight != "" {
+		cfg.Guard = train.GuardConfig{Enabled: true, MaxGradNorm: *maxGrad, FlightPath: *flight}
+	}
+	if *calibrate {
+		d, err := pickDevice(*dev)
+		if err != nil {
+			return err
+		}
+		cfg.Calibrate = &d
+	}
+	var sl *trace.StepLog
+	if *stepLogOut != "" {
+		if sl, err = trace.CreateStepLog(*stepLogOut); err != nil {
+			return err
+		}
+		cfg.StepLog = sl
+	}
+	if *listen != "" {
+		dash, err := train.StartDashboard(*listen, met, *pprofOn)
+		if err != nil {
+			return err
+		}
+		defer dash.Close()
+		fmt.Printf("dashboard: http://%s/\n", dash.Addr())
+	}
 	res, err := train.Run(cfg, ds)
+	// The steplog must flush even when the run halted (a guard trip is
+	// exactly when the stream matters most).
+	if sl != nil {
+		if cerr := sl.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("final test error: %.4f (split %d/%d convs)\n", res.FinalTestErr, res.SplitConvs, res.TotalConvs)
+	if sl != nil {
+		steps, epochs := sl.Counts()
+		fmt.Printf("steplog: %s (%d steps, %d epochs)\n", *stepLogOut, steps, epochs)
+		if *checkLog {
+			f, err := os.Open(*stepLogOut)
+			if err != nil {
+				return err
+			}
+			cs, ce, cerr := trace.CheckStepLog(f)
+			f.Close()
+			if cerr != nil {
+				return fmt.Errorf("steplog check: %w", cerr)
+			}
+			fmt.Printf("steplog check: ok (%d steps, %d epochs)\n", cs, ce)
+		}
+	}
+	if res.Drift != nil {
+		fmt.Printf("calibration: %d ops, drift geomean %.2fx, max %.2fx at %s\n",
+			len(res.Drift.Ops), res.Drift.GeoMeanRatio, res.Drift.MaxRatio, res.Drift.MaxOp)
+	}
 	if *savePath != "" {
 		fmt.Printf("snapshot: %s\n", *savePath)
 	}
@@ -447,7 +519,7 @@ func cmdTrain(args []string) error {
 		}
 		fmt.Printf("trace:   %s (%d events)\n", *traceOut, rec.Len())
 	}
-	if met != nil {
+	if met != nil && *metricsOut != "" {
 		if err := met.WriteFile(*metricsOut); err != nil {
 			return err
 		}

@@ -58,9 +58,13 @@ func cmdReport(args []string) error {
 	inputHW := fs.Int("inputhw", 224, "input height/width (scale the model down for -measured runs)")
 	out := fs.String("o", "report.html", "report output file")
 	metricsOut := fs.String("metrics", "", "also write the run's metrics JSON here")
+	trainLog := fs.String("train", "", "render a training report from this steplog JSONL (from `splitcnn train -steplog`) instead of a memory timeline")
 	dev := deviceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trainLog != "" {
+		return trainReport(*trainLog, *out)
 	}
 	d, err := pickDevice(*dev)
 	if err != nil {
@@ -162,5 +166,30 @@ func cmdReport(args []string) error {
 	if *metricsOut != "" {
 		fmt.Printf("metrics:     %s\n", *metricsOut)
 	}
+	return nil
+}
+
+// trainReport renders the training-run page from a steplog stream:
+//
+//	splitcnn report -train run.jsonl -o train.html
+func trainReport(logPath, out string) error {
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	steps, epochs, err := trace.ReadStepLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	data, err := report.TrainReport(fmt.Sprintf("training run · %s", logPath), steps, epochs)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteFile(out, data); err != nil {
+		return err
+	}
+	fmt.Printf("steplog:     %s (%d steps, %d epochs)\n", logPath, len(steps), len(epochs))
+	fmt.Printf("report:      %s (%d charts)\n", out, len(data.Charts))
 	return nil
 }

@@ -23,6 +23,12 @@ type OpEvent struct {
 	// OutputBytes is the size of the produced tensor (forward) or the
 	// summed size of produced input gradients (backward).
 	OutputBytes int64
+	// Output references the op's primary produced tensor — the forward
+	// output, or the first produced input gradient in backward — so
+	// hooks can health-scan fresh values (the trainer's NaN/Inf guard).
+	// It is only valid for the duration of the hook call: with an arena
+	// installed the storage is recycled afterwards.
+	Output *tensor.Tensor
 }
 
 // OpHook receives per-op execution events.
@@ -251,6 +257,7 @@ func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 					Name: n.Name, Kind: n.Op.Kind(),
 					Start: opStart, Dur: e.hookStart() - opStart,
 					OutputBytes: out.Bytes(),
+					Output:      out,
 				})
 			}
 			if !out.Shape().Equal(n.Shape) {
@@ -389,8 +396,12 @@ func (e *Executor) Backward() error {
 		}
 		if e.Hook != nil {
 			var produced int64
+			var first *tensor.Tensor
 			for _, g := range gin {
 				if g != nil {
+					if first == nil {
+						first = g
+					}
 					produced += g.Bytes()
 				}
 			}
@@ -398,6 +409,7 @@ func (e *Executor) Backward() error {
 				Name: n.Name, Kind: n.Op.Kind(), Backward: true,
 				Start: opStart, Dur: e.hookStart() - opStart,
 				OutputBytes: produced,
+				Output:      first,
 			})
 		}
 		if len(gin) != len(n.Inputs) {

@@ -37,17 +37,59 @@ type Series struct {
 	Points []Point
 }
 
-// Chart is one step chart: time on x, bytes on y, an optional dashed
-// high-water rule.
+// YKind selects the y-axis unit system of a chart. The zero value is
+// bytes — the memory-timeline reports predate the other kinds.
+type YKind int
+
+const (
+	YBytes YKind = iota
+	YSeconds
+	YScalar
+)
+
+// XKind selects the x-axis domain: wall-clock seconds (zero value) or
+// optimizer step numbers.
+type XKind int
+
+const (
+	XSeconds XKind = iota
+	XSteps
+)
+
+// Chart is one chart: time or steps on x, bytes/seconds/scalars on y,
+// an optional dashed high-water rule.
 type Chart struct {
 	Title string
 	// Note is a secondary line under the title.
 	Note   string
 	Series []Series
+	// YKind / XKind pick the axis units; zero values render the classic
+	// bytes-over-time memory timeline.
+	YKind YKind
+	XKind XKind
+	// Line joins samples with straight segments (curves like loss or
+	// grad norm); the default draws step lines where each value holds
+	// until the next sample (occupancy timelines).
+	Line bool
 	// HighWater, when positive, draws a dashed horizontal rule with
 	// HighWaterLabel — the static plan size the series must stay under.
 	HighWater      float64
 	HighWaterLabel string
+}
+
+// yAxis returns the tick unit, tick unit label, and tooltip formatter
+// for the chart's y kind.
+func (c *Chart) yAxis(yMax float64) (unit float64, name string, format func(float64) string) {
+	switch c.YKind {
+	case YSeconds:
+		u, n := secUnit(yMax)
+		return u, n, HumanSeconds
+	case YScalar:
+		return 1, "", HumanScalar
+	default:
+		u, n := byteUnit(yMax)
+		return u, n, HumanBytes
+	}
 }
 
 // KV is one header fact ("model: vgg19", ...).
@@ -179,23 +221,31 @@ func renderChart(b *strings.Builder, c *Chart) error {
 	}
 	fmt.Fprintf(b, "<svg viewBox=\"0 0 %g %g\" role=\"img\" aria-label=\"%s\">\n", chartW, chartH, esc(c.Title))
 
-	// Horizontal grid + byte-axis labels on nice binary-unit ticks.
-	unit, uname := byteUnit(yMax)
+	// Horizontal grid + y-axis labels on nice unit ticks.
+	unit, uname, yFmt := c.yAxis(yMax)
 	for _, tick := range niceTicks(yMax/unit, 5) {
 		y := ypos(tick * unit)
 		fmt.Fprintf(b, "<line class=\"grid\" x1=\"%g\" y1=\"%.2f\" x2=\"%g\" y2=\"%.2f\"/>\n", marginL, y, chartW-marginR, y)
 		fmt.Fprintf(b, "<text class=\"tick\" x=\"%g\" y=\"%.2f\" text-anchor=\"end\">%s %s</text>\n",
 			marginL-8, y+4, trimFloat(tick), uname)
 	}
-	// Time axis: labels only, plus the baseline.
-	tUnit, tName := 1.0, "s"
-	if xMax < 1 {
-		tUnit, tName = 1e-3, "ms"
-	}
-	for _, tick := range niceTicks((xMax-xMin)/tUnit, 5) {
-		x := xpos(xMin + tick*tUnit)
-		fmt.Fprintf(b, "<text class=\"tick\" x=\"%.2f\" y=\"%g\" text-anchor=\"middle\">%s %s</text>\n",
-			x, chartH-marginB+20, trimFloat(tick), tName)
+	// X axis: labels only, plus the baseline.
+	if c.XKind == XSteps {
+		for _, tick := range niceTicks(xMax-xMin, 5) {
+			x := xpos(xMin + tick)
+			fmt.Fprintf(b, "<text class=\"tick\" x=\"%.2f\" y=\"%g\" text-anchor=\"middle\">%s</text>\n",
+				x, chartH-marginB+20, trimFloat(xMin+tick))
+		}
+	} else {
+		tUnit, tName := 1.0, "s"
+		if xMax < 1 {
+			tUnit, tName = 1e-3, "ms"
+		}
+		for _, tick := range niceTicks((xMax-xMin)/tUnit, 5) {
+			x := xpos(xMin + tick*tUnit)
+			fmt.Fprintf(b, "<text class=\"tick\" x=\"%.2f\" y=\"%g\" text-anchor=\"middle\">%s %s</text>\n",
+				x, chartH-marginB+20, trimFloat(tick), tName)
+		}
 	}
 	fmt.Fprintf(b, "<line class=\"axis\" x1=\"%g\" y1=\"%.2f\" x2=\"%g\" y2=\"%.2f\"/>\n",
 		marginL, ypos(0), chartW-marginR, ypos(0))
@@ -209,15 +259,20 @@ func renderChart(b *strings.Builder, c *Chart) error {
 			label = "high water"
 		}
 		fmt.Fprintf(b, "<text class=\"hwlabel\" x=\"%g\" y=\"%.2f\">%s · %s</text>\n",
-			marginL+6, y-6, esc(label), esc(HumanBytes(c.HighWater)))
+			marginL+6, y-6, esc(label), esc(yFmt(c.HighWater)))
 	}
 
-	// Step lines: each value holds until the next sample.
+	// Series paths: straight segments for curves, otherwise step lines
+	// where each value holds until the next sample.
 	for i, s := range c.Series {
 		var path strings.Builder
 		fmt.Fprintf(&path, "M%.2f %.2f", xpos(s.Points[0].X), ypos(s.Points[0].Y))
 		for _, p := range s.Points[1:] {
-			fmt.Fprintf(&path, " H%.2f V%.2f", xpos(p.X), ypos(p.Y))
+			if c.Line {
+				fmt.Fprintf(&path, " L%.2f %.2f", xpos(p.X), ypos(p.Y))
+			} else {
+				fmt.Fprintf(&path, " H%.2f V%.2f", xpos(p.X), ypos(p.Y))
+			}
 		}
 		fmt.Fprintf(b, "<path class=\"line\" stroke=\"%s\" d=\"%s\"/>\n", palette[i], path.String())
 	}
@@ -256,13 +311,17 @@ func renderChart(b *strings.Builder, c *Chart) error {
 			continue
 		}
 		var tip strings.Builder
-		fmt.Fprintf(&tip, "t = %s", HumanSeconds(ref.Points[j].X))
+		if c.XKind == XSteps {
+			fmt.Fprintf(&tip, "step %s", trimFloat(ref.Points[j].X))
+		} else {
+			fmt.Fprintf(&tip, "t = %s", HumanSeconds(ref.Points[j].X))
+		}
 		if l := ref.Points[j].Label; l != "" {
 			fmt.Fprintf(&tip, " · %s", l)
 		}
 		for _, s := range c.Series {
 			if j < len(s.Points) {
-				fmt.Fprintf(&tip, "\n%s: %s", s.Name, HumanBytes(s.Points[j].Y))
+				fmt.Fprintf(&tip, "\n%s: %s", s.Name, yFmt(s.Points[j].Y))
 			}
 		}
 		fmt.Fprintf(b, "<rect class=\"hit\" x=\"%.2f\" y=\"%g\" width=\"%.2f\" height=\"%g\"><title>%s</title></rect>\n",
@@ -292,6 +351,27 @@ func HumanSeconds(v float64) string {
 		return strconv.FormatFloat(math.Round(v*1e6)/1000, 'f', -1, 64) + " ms"
 	default:
 		return strconv.FormatFloat(math.Round(v*1e9)/1000, 'f', -1, 64) + " µs"
+	}
+}
+
+// HumanScalar formats a dimensionless value compactly: fixed decimals
+// in the comfortable range, scientific notation outside it.
+func HumanScalar(v float64) string {
+	if v != 0 && (math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3) {
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+	return strconv.FormatFloat(math.Round(v*1000)/1000, 'f', -1, 64)
+}
+
+// secUnit picks the tick unit for a seconds axis.
+func secUnit(max float64) (float64, string) {
+	switch {
+	case max >= 1:
+		return 1, "s"
+	case max >= 1e-3:
+		return 1e-3, "ms"
+	default:
+		return 1e-6, "µs"
 	}
 }
 

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+
+	"splitcnn/internal/trace"
+)
+
+// TrainReport builds the training-run page from a parsed steplog
+// stream (`splitcnn report -train run.jsonl`): the loss curve, the
+// gradient/parameter norm curves, and the step-time series, with the
+// per-epoch rollups as the tabular view. It needs at least two step
+// records — below that there is no curve to draw.
+func TrainReport(title string, steps []trace.StepRecord, epochs []trace.EpochRecord) (*Data, error) {
+	if len(steps) < 2 {
+		return nil, fmt.Errorf("report: %d step records, need at least 2", len(steps))
+	}
+	loss := make([]Point, len(steps))
+	grad := make([]Point, len(steps))
+	param := make([]Point, len(steps))
+	stepTime := make([]Point, len(steps))
+	var peakArena int64
+	var imgSum float64
+	for i, s := range steps {
+		x := float64(s.Step)
+		loss[i] = Point{X: x, Y: s.Loss}
+		grad[i] = Point{X: x, Y: s.GradNorm}
+		param[i] = Point{X: x, Y: s.ParamNorm}
+		stepTime[i] = Point{X: x, Y: s.StepSeconds}
+		if s.ArenaInUseBytes > peakArena {
+			peakArena = s.ArenaInUseBytes
+		}
+		imgSum += s.ImagesPerSec
+	}
+	last := steps[len(steps)-1]
+
+	d := &Data{
+		Title: title,
+		Subtitle: fmt.Sprintf("%d steps · %d epochs · final loss %s",
+			len(steps), len(epochs), HumanScalar(last.Loss)),
+		Facts: []KV{
+			{"steps", fmt.Sprint(len(steps))},
+			{"epochs", fmt.Sprint(len(epochs))},
+			{"final loss", HumanScalar(last.Loss)},
+			{"final lr", HumanScalar(last.LR)},
+			{"mean images/s", HumanScalar(imgSum / float64(len(steps)))},
+			{"peak arena", HumanBytes(float64(peakArena))},
+		},
+		Charts: []Chart{
+			{
+				Title:  "training loss",
+				Note:   "per-step minibatch loss",
+				Series: []Series{{Name: "loss", Points: loss}},
+				YKind:  YScalar, XKind: XSteps, Line: true,
+			},
+			{
+				Title: "gradient health",
+				Note:  "global L2 norms over trainable parameters",
+				Series: []Series{
+					{Name: "grad norm", Points: grad},
+					{Name: "param norm", Points: param},
+				},
+				YKind: YScalar, XKind: XSteps, Line: true,
+			},
+			{
+				Title:  "step time",
+				Note:   "wall clock per optimizer step",
+				Series: []Series{{Name: "step time", Points: stepTime}},
+				YKind:  YSeconds, XKind: XSteps, Line: true,
+			},
+		},
+	}
+	if len(epochs) > 0 {
+		final := epochs[len(epochs)-1]
+		d.Facts = append(d.Facts, KV{"final test error", fmt.Sprintf("%.4f", final.TestError)})
+		d.Table = &Table{
+			Caption: "per-epoch rollups",
+			Header:  []string{"epoch", "steps", "mean loss", "test error", "lr", "epoch time", "images/s"},
+		}
+		for _, e := range epochs {
+			d.Table.Rows = append(d.Table.Rows, []string{
+				fmt.Sprint(e.Epoch),
+				fmt.Sprint(e.Steps),
+				HumanScalar(e.MeanLoss),
+				fmt.Sprintf("%.4f", e.TestError),
+				HumanScalar(e.LR),
+				HumanSeconds(e.EpochSeconds),
+				HumanScalar(e.ImagesPerSec),
+			})
+		}
+	}
+	return d, nil
+}

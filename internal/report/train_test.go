@@ -1,0 +1,80 @@
+package report_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"splitcnn/internal/report"
+	"splitcnn/internal/trace"
+)
+
+// TestTrainReportRoundTrip drives the full pipeline the CLI uses: emit
+// a steplog stream through trace.StepLog, parse it back, and render the
+// training page from the parsed records.
+func TestTrainReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	log := trace.NewStepLog(&buf)
+	for i := 1; i <= 8; i++ {
+		if err := log.Step(trace.StepRecord{
+			Step: i, Epoch: (i - 1) / 4, Loss: 2.3 - 0.1*float64(i),
+			GradNorm: 1.5, ParamNorm: 40, LR: 0.05,
+			ImagesPerSec: 800, StepSeconds: 0.04, ArenaInUseBytes: 1 << 20,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 2; e++ {
+		if err := log.Epoch(trace.EpochRecord{
+			Epoch: e, Steps: 4, MeanLoss: 2.0 - 0.3*float64(e), TestError: 0.5 - 0.1*float64(e),
+			LR: 0.05, EpochSeconds: 0.16, ImagesPerSec: 800,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	steps, epochs, err := trace.ReadStepLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := report.TrainReport("tiny run", steps, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var html bytes.Buffer
+	if err := report.Render(&html, d); err != nil {
+		t.Fatal(err)
+	}
+	out := html.String()
+	for _, want := range []string{
+		"tiny run", "training loss", "gradient health", "step time",
+		"grad norm", "param norm", "per-epoch rollups",
+		"step 1",      // XSteps tooltip prefix
+		"40 ms",       // YSeconds tick/tooltip unit for the 0.04 s steps
+		"final loss",  // facts
+		"0.4000",      // final test error in facts and table
+		"<path class", // curves actually drawn
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered page missing %q", want)
+		}
+	}
+	// Loss curve is a Line chart: straight segments, not hold-steps.
+	if !strings.Contains(out, " L") || strings.Count(out, "<figure>") != 3 {
+		t.Fatalf("expected 3 figures with line segments")
+	}
+}
+
+// TestTrainReportValidation rejects streams with no curve to draw.
+func TestTrainReportValidation(t *testing.T) {
+	if _, err := report.TrainReport("x", nil, nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := report.TrainReport("x", []trace.StepRecord{{Step: 1}}, nil); err == nil {
+		t.Fatal("single-step stream accepted")
+	}
+}

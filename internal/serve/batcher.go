@@ -255,7 +255,7 @@ func (b *Batcher) runBatch(batch []*Request, imgs [][]float32) {
 	}
 	if m := b.opts.Metrics; m != nil {
 		for _, r := range live {
-			m.Histogram("serve.queue_seconds", nil).Observe(now.Sub(r.Enqueued).Seconds())
+			m.Histogram("serve.queue_seconds", trace.LatencyBuckets).Observe(now.Sub(r.Enqueued).Seconds())
 		}
 	}
 }

@@ -9,7 +9,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -299,7 +298,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lat := time.Since(start)
-	s.met.Histogram("serve.latency_seconds", nil).Observe(lat.Seconds())
+	s.met.Histogram("serve.latency_seconds", trace.LatencyBuckets).Observe(lat.Seconds())
 	argmax := 0
 	for i, v := range resp.Logits {
 		if v > resp.Logits[argmax] {
@@ -364,29 +363,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMetricsz refreshes the latency-quantile gauges and dumps the
-// registry. The format is content-negotiated: JSON by default
-// (preserved for existing scrapers), Prometheus text exposition when
-// the client asks for text/plain (what a Prometheus scraper's Accept
-// header implies) or ?format=prom, and the legacy "kind name value"
-// lines with ?format=text.
+// handleMetricsz serves the registry through the shared
+// content-negotiated handler (trace.MetricsHandler — also behind the
+// trainer dashboard), refreshing the latency-quantile gauges at scrape
+// time.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	lat := s.met.Histogram("serve.latency_seconds", nil)
-	s.met.Gauge("serve.latency_p50_seconds").Set(lat.Quantile(0.5))
-	s.met.Gauge("serve.latency_p99_seconds").Set(lat.Quantile(0.99))
-	format := r.URL.Query().Get("format")
-	accept := r.Header.Get("Accept")
-	switch {
-	case format == "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		s.met.WriteText(w)
-	case format == "prom" || (format == "" && strings.Contains(accept, "text/plain")):
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.met.WritePrometheus(w)
-	default:
-		w.Header().Set("Content-Type", "application/json")
-		s.met.WriteJSON(w)
-	}
+	trace.MetricsHandler(s.met, func(m *trace.Metrics) {
+		lat := m.Histogram("serve.latency_seconds", trace.LatencyBuckets)
+		m.Gauge("serve.latency_p50_seconds").Set(lat.Quantile(0.5))
+		m.Gauge("serve.latency_p99_seconds").Set(lat.Quantile(0.99))
+	})(w, r)
 }
 
 // handleTracez dumps the request-scoped wall-clock trace accumulated so

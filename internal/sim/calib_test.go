@@ -1,0 +1,77 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/models"
+	"splitcnn/internal/sim"
+	"splitcnn/internal/trace"
+)
+
+// TestDriftFromMeasured feeds measured op times that are an exact 3x of
+// the cost model's predictions and expects every drift ratio — and both
+// summaries — to come back as 3.
+func TestDriftFromMeasured(t *testing.T) {
+	m, err := models.Build("alexnet", models.Config{
+		BatchSize: 4, Classes: 10, InputC: 3, InputH: 64, InputW: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := costmodel.P100()
+	prog, err := hmms.BuildProgram(m.Graph, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := make(map[string]sim.OpSample)
+	for _, op := range prog.Ops {
+		if op.Time <= 0 {
+			continue
+		}
+		// Two samples per op so Mean() does real averaging.
+		measured[op.Name] = sim.OpSample{Seconds: 2 * 3 * op.Time, Count: 2}
+	}
+	rep, err := sim.DriftFromMeasured(m.Graph, dev, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ops) != len(measured) {
+		t.Fatalf("report covers %d ops, measured %d", len(rep.Ops), len(measured))
+	}
+	for _, d := range rep.Ops {
+		if math.Abs(d.Ratio-3) > 1e-9 {
+			t.Fatalf("op %s drift ratio %v, want 3", d.Name, d.Ratio)
+		}
+	}
+	if math.Abs(rep.GeoMeanRatio-3) > 1e-9 || math.Abs(rep.MaxRatio-3) > 1e-9 {
+		t.Fatalf("summaries geomean=%v max=%v, want 3", rep.GeoMeanRatio, rep.MaxRatio)
+	}
+
+	met := trace.NewMetrics()
+	rep.RecordMetrics(met)
+	if v := met.Gauge("calib.op_drift_ratio_geomean").Value(); math.Abs(v-3) > 1e-9 {
+		t.Fatalf("calib.op_drift_ratio_geomean gauge = %v, want 3", v)
+	}
+	if v := met.Gauge("calib.ops_measured").Value(); v != float64(len(rep.Ops)) {
+		t.Fatalf("calib.ops_measured gauge = %v, want %d", v, len(rep.Ops))
+	}
+	if v := met.Gauge("calib.op_drift_ratio." + rep.Ops[0].Name).Value(); math.Abs(v-3) > 1e-9 {
+		t.Fatalf("per-op gauge = %v, want 3", v)
+	}
+}
+
+// TestDriftFromMeasuredEmpty rejects calibration without measurements.
+func TestDriftFromMeasuredEmpty(t *testing.T) {
+	m, err := models.Build("alexnet", models.Config{
+		BatchSize: 2, Classes: 10, InputC: 3, InputH: 64, InputW: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.DriftFromMeasured(m.Graph, costmodel.P100(), nil); err == nil {
+		t.Fatal("DriftFromMeasured accepted an empty measurement set")
+	}
+}

@@ -1,0 +1,54 @@
+package tensor
+
+import "math"
+
+// nonFiniteBits masks the float32 exponent: all-ones means NaN or ±Inf.
+// Working on the raw bits keeps the scans branch-cheap and free of
+// float64 conversions in the hot sampled path.
+const nonFiniteBits = 0x7f800000
+
+// HasNonFinite reports whether any sampled element of t is NaN or ±Inf.
+// stride selects every stride-th element (plus the last, so a poisoned
+// tail is never invisible); stride <= 1 scans everything. A strided
+// scan is the cheap per-op health probe the anomaly guards run inside
+// the executor hook — NaNs from an upstream op saturate whole output
+// tensors within an op or two, so sampling catches them while costing a
+// small fraction of a full pass.
+func (t *Tensor) HasNonFinite(stride int) bool {
+	if stride < 1 {
+		stride = 1
+	}
+	d := t.data
+	for i := 0; i < len(d); i += stride {
+		if math.Float32bits(d[i])&nonFiniteBits == nonFiniteBits {
+			return true
+		}
+	}
+	if n := len(d); n > 0 && (n-1)%stride != 0 {
+		return math.Float32bits(d[n-1])&nonFiniteBits == nonFiniteBits
+	}
+	return false
+}
+
+// CountNonFinite returns the exact number of NaN/±Inf elements — the
+// full scan a tripped guard runs to attribute the damage.
+func (t *Tensor) CountNonFinite() int {
+	n := 0
+	for _, v := range t.data {
+		if math.Float32bits(v)&nonFiniteBits == nonFiniteBits {
+			n++
+		}
+	}
+	return n
+}
+
+// SumSquares accumulates Σ x² in float64 — the building block of the
+// global parameter and gradient L2 norms in the step telemetry.
+func (t *Tensor) SumSquares() float64 {
+	var s float64
+	for _, v := range t.data {
+		f := float64(v)
+		s += f * f
+	}
+	return s
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// OpSpan is one executed-op interval as the flight recorder keeps it:
+// the serialized-program op name ("conv1", "conv1.bwd"), its hook-clock
+// start, duration, and the global step it ran in.
+type OpSpan struct {
+	Name  string  `json:"name"`
+	Step  int     `json:"step"`
+	Start float64 `json:"start_s"`
+	Dur   float64 `json:"dur_s"`
+}
+
+// FlightRecorder keeps the last N step records and the last M op spans
+// in fixed-size ring buffers, cheap enough to run on every training
+// step. When an anomaly guard fires, Dump snapshots the rings in
+// oldest-to-newest order, so a diverged run leaves a post-mortem
+// artifact — the steps and ops leading up to the first NaN — instead of
+// a flat "loss=NaN" line.
+//
+// Ring semantics: writes never block and never allocate once the ring
+// is full; the (N+1)-th record overwrites the oldest. A dump therefore
+// always holds the *most recent* history, with at most N steps and M
+// spans, regardless of how long the run was.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	steps []StepRecord
+	spans []OpSpan
+	// nextStep/nextSpan are the ring write cursors; filledSteps/
+	// filledSpans saturate at the ring capacities.
+	nextStep, filledSteps int
+	nextSpan, filledSpans int
+}
+
+// NewFlightRecorder sizes the rings; non-positive sizes select the
+// defaults (64 steps, 1024 op spans).
+func NewFlightRecorder(steps, spans int) *FlightRecorder {
+	if steps <= 0 {
+		steps = 64
+	}
+	if spans <= 0 {
+		spans = 1024
+	}
+	return &FlightRecorder{
+		steps: make([]StepRecord, steps),
+		spans: make([]OpSpan, spans),
+	}
+}
+
+// RecordStep appends one step record to the ring.
+func (f *FlightRecorder) RecordStep(r StepRecord) {
+	f.mu.Lock()
+	f.steps[f.nextStep] = r
+	f.nextStep = (f.nextStep + 1) % len(f.steps)
+	if f.filledSteps < len(f.steps) {
+		f.filledSteps++
+	}
+	f.mu.Unlock()
+}
+
+// RecordSpan appends one op span to the ring.
+func (f *FlightRecorder) RecordSpan(s OpSpan) {
+	f.mu.Lock()
+	f.spans[f.nextSpan] = s
+	f.nextSpan = (f.nextSpan + 1) % len(f.spans)
+	if f.filledSpans < len(f.spans) {
+		f.filledSpans++
+	}
+	f.mu.Unlock()
+}
+
+// FlightDump is the post-mortem artifact written when a guard fires.
+type FlightDump struct {
+	// Guard names the tripped guard ("loss_nonfinite", "grad_nonfinite",
+	// "grad_explosion", "activation_nonfinite"); TripOp the op whose
+	// output first scanned non-finite (empty when the trip was not
+	// op-attributed); TripStep the global step of the trip.
+	Guard    string  `json:"guard"`
+	TripOp   string  `json:"trip_op,omitempty"`
+	TripStep int     `json:"trip_step"`
+	Value    float64 `json:"value,omitempty"`
+	// Steps and Spans are the ring contents, oldest first.
+	Steps []StepRecord `json:"steps"`
+	Spans []OpSpan     `json:"spans"`
+	// Tensors is the full-scan census taken at the trip: every parameter
+	// whose value or gradient holds non-finite elements.
+	Tensors []TensorHealth `json:"tensors,omitempty"`
+}
+
+// TensorHealth is one full-scan census entry.
+type TensorHealth struct {
+	Name string `json:"name"`
+	// NonFiniteValues / NonFiniteGrads count NaN/Inf elements in the
+	// parameter's value / gradient out of Elems.
+	NonFiniteValues int `json:"nonfinite_values"`
+	NonFiniteGrads  int `json:"nonfinite_grads"`
+	Elems           int `json:"elems"`
+}
+
+// Dump snapshots the rings oldest-to-newest into a FlightDump shell;
+// the caller fills in the guard attribution and tensor census.
+func (f *FlightRecorder) Dump() FlightDump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := FlightDump{
+		Steps: make([]StepRecord, 0, f.filledSteps),
+		Spans: make([]OpSpan, 0, f.filledSpans),
+	}
+	for i := 0; i < f.filledSteps; i++ {
+		d.Steps = append(d.Steps, f.steps[(f.nextStep-f.filledSteps+i+len(f.steps))%len(f.steps)])
+	}
+	for i := 0; i < f.filledSpans; i++ {
+		d.Spans = append(d.Spans, f.spans[(f.nextSpan-f.filledSpans+i+len(f.spans))%len(f.spans)])
+	}
+	return d
+}
+
+// WriteFile writes the dump as indented JSON to path.
+func (d *FlightDump) WriteFile(path string) error {
+	b, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("trace: writing flight dump %s: %w", path, err)
+	}
+	return nil
+}

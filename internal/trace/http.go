@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"net/http"
+	"strings"
+)
+
+// MetricsHandler serves a registry over HTTP with the /metricsz content
+// negotiation shared by the serving stack and the trainer dashboard:
+// JSON by default (preserved for existing scrapers), Prometheus text
+// exposition 0.0.4 when the client asks for text/plain (what a
+// Prometheus scraper's Accept header implies) or ?format=prom, and the
+// legacy "kind name value" lines with ?format=text. refresh, when
+// non-nil, runs before each dump — the hook that recomputes derived
+// gauges (latency quantiles) at scrape time.
+func MetricsHandler(m *Metrics, refresh func(*Metrics)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if refresh != nil {
+			refresh(m)
+		}
+		format := r.URL.Query().Get("format")
+		accept := r.Header.Get("Accept")
+		switch {
+		case format == "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			m.WriteText(w)
+		case format == "prom" || (format == "" && strings.Contains(accept, "text/plain")):
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			m.WritePrometheus(w)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			m.WriteJSON(w)
+		}
+	}
+}

@@ -211,6 +211,18 @@ func (m *Metrics) Gauge(name string) *Gauge {
 // exponential scale).
 var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100}
 
+// LatencyBuckets are the bounds every duration histogram should use:
+// a 1-2.5-5 ladder from 1µs to 10s, fine enough that Quantile's
+// within-bucket interpolation gives usable p50/p99 estimates for
+// microsecond op kernels and second-scale training steps alike.
+// (DefBuckets, one bucket per decade, puts an entire op-latency
+// population inside a single bucket and flattens every quantile to
+// interpolation noise.)
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // Histogram returns (creating if needed) the named histogram. bounds
 // are sorted upper bucket bounds; nil selects DefBuckets. Bounds are
 // fixed at creation — later calls ignore the argument.

@@ -1,0 +1,300 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// StepRecord is one line of the training-step telemetry stream: the
+// loop-level health of a single optimizer step. The field set is the
+// steplog schema — tests pin it, and downstream consumers (the training
+// report page, the flight recorder, external log shippers) parse it
+// with plain encoding/json, so adding a field is fine but renaming or
+// removing one is a breaking change.
+type StepRecord struct {
+	// Type discriminates record kinds on a shared JSONL stream; step
+	// records carry "step".
+	Type string `json:"type"`
+	// Step is the global 1-based step number, monotonically increasing
+	// across epochs.
+	Step int `json:"step"`
+	// Epoch is the 0-based epoch this step ran in.
+	Epoch int `json:"epoch"`
+	// Loss is the minibatch training loss.
+	Loss float64 `json:"loss"`
+	// GradNorm and ParamNorm are global L2 norms over every trainable
+	// parameter's gradient / value — the curves that reveal divergence
+	// long before the loss goes flat-NaN.
+	GradNorm  float64 `json:"grad_norm"`
+	ParamNorm float64 `json:"param_norm"`
+	// LR is the learning rate the optimizer applied this step.
+	LR float64 `json:"lr"`
+	// ImagesPerSec is BatchSize / StepSeconds.
+	ImagesPerSec float64 `json:"images_per_sec"`
+	// StepSeconds is the wall-clock time of the step (batch assembly,
+	// forward, backward, optimizer).
+	StepSeconds float64 `json:"step_seconds"`
+	// ArenaInUseBytes is the workspace arena's vended storage after the
+	// step — the CPU-side live-tensor footprint.
+	ArenaInUseBytes int64 `json:"arena_in_use_bytes"`
+}
+
+// EpochRecord is the per-epoch rollup line (Type "epoch").
+type EpochRecord struct {
+	Type string `json:"type"`
+	// Epoch is the 0-based epoch index; Steps the optimizer steps it ran.
+	Epoch int `json:"epoch"`
+	Steps int `json:"steps"`
+	// MeanLoss is the mean minibatch loss; TestError the post-epoch
+	// evaluation error in [0, 1].
+	MeanLoss  float64 `json:"mean_loss"`
+	TestError float64 `json:"test_error"`
+	// LR is the epoch's learning rate (after schedule decay).
+	LR float64 `json:"lr"`
+	// EpochSeconds is the wall-clock of the epoch's step loop;
+	// ImagesPerSec the epoch-mean training throughput.
+	EpochSeconds float64 `json:"epoch_seconds"`
+	ImagesPerSec float64 `json:"images_per_sec"`
+}
+
+// Record type discriminators.
+const (
+	RecordStep  = "step"
+	RecordEpoch = "epoch"
+)
+
+// MarshalJSON encodes the record with non-finite floats as null:
+// encoding/json rejects NaN/±Inf outright, and the steps *around* a
+// divergence — exactly the ones carrying non-finite losses and norms —
+// are the ones the flight recorder most needs to get onto disk. Keys
+// come out in deterministic (alphabetical) order.
+func (r StepRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"type": r.Type, "step": r.Step, "epoch": r.Epoch,
+		"loss": finiteOrNil(r.Loss), "grad_norm": finiteOrNil(r.GradNorm),
+		"param_norm": finiteOrNil(r.ParamNorm), "lr": finiteOrNil(r.LR),
+		"images_per_sec":     finiteOrNil(r.ImagesPerSec),
+		"step_seconds":       finiteOrNil(r.StepSeconds),
+		"arena_in_use_bytes": r.ArenaInUseBytes,
+	})
+}
+
+// MarshalJSON: see StepRecord.MarshalJSON.
+func (r EpochRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"type": r.Type, "epoch": r.Epoch, "steps": r.Steps,
+		"mean_loss": finiteOrNil(r.MeanLoss), "test_error": finiteOrNil(r.TestError),
+		"lr": finiteOrNil(r.LR), "epoch_seconds": finiteOrNil(r.EpochSeconds),
+		"images_per_sec": finiteOrNil(r.ImagesPerSec),
+	})
+}
+
+// finiteOrNil maps NaN/±Inf to JSON null and passes finite values
+// through bit-exactly.
+func finiteOrNil(v float64) any {
+	if v != v || v > math.MaxFloat64 || v < -math.MaxFloat64 {
+		return nil
+	}
+	return v
+}
+
+// StepLog writes the step telemetry stream as JSONL: one self-contained
+// JSON object per line, steps interleaved with per-epoch rollups in
+// emission order. It is safe for concurrent use and buffers writes;
+// call Close (or Flush) before reading the file back.
+type StepLog struct {
+	mu       sync.Mutex
+	bw       *bufio.Writer
+	enc      *json.Encoder
+	closer   io.Closer
+	lastStep int
+	steps    int
+	epochs   int
+	err      error
+}
+
+// NewStepLog wraps w in a step log sink.
+func NewStepLog(w io.Writer) *StepLog {
+	bw := bufio.NewWriter(w)
+	l := &StepLog{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		l.closer = c
+	}
+	return l
+}
+
+// CreateStepLog opens path for writing and returns a step log over it.
+func CreateStepLog(path string) (*StepLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewStepLog(f), nil
+}
+
+// Step appends one step record. Step numbers must be strictly
+// increasing; a regression is reported as an error (and the record is
+// still written, so a post-mortem reader sees what the trainer saw).
+func (l *StepLog) Step(r StepRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Type = RecordStep
+	if r.Step <= l.lastStep {
+		l.fail(fmt.Errorf("trace: steplog step %d not above previous %d", r.Step, l.lastStep))
+	}
+	l.lastStep = r.Step
+	l.steps++
+	return l.emit(r)
+}
+
+// Epoch appends one epoch rollup record.
+func (l *StepLog) Epoch(r EpochRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Type = RecordEpoch
+	l.epochs++
+	return l.emit(r)
+}
+
+// emit encodes v under l.mu, latching the first write error.
+func (l *StepLog) emit(v any) error {
+	if err := l.enc.Encode(v); err != nil {
+		l.fail(err)
+	}
+	return l.err
+}
+
+func (l *StepLog) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+// Counts returns how many step and epoch records were written.
+func (l *StepLog) Counts() (steps, epochs int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.steps, l.epochs
+}
+
+// Flush drains the write buffer.
+func (l *StepLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.bw.Flush(); err != nil {
+		l.fail(err)
+	}
+	return l.err
+}
+
+// Close flushes and, when the sink owns a file, closes it. It returns
+// the first error the log encountered over its lifetime, so a trainer
+// that only checks Close still surfaces mid-run write failures.
+func (l *StepLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.bw.Flush(); err != nil {
+		l.fail(err)
+	}
+	if l.closer != nil {
+		if err := l.closer.Close(); err != nil {
+			l.fail(err)
+		}
+		l.closer = nil
+	}
+	return l.err
+}
+
+// stepLogFields are the keys every step line must carry — the schema
+// contract CheckStepLog enforces and the golden test pins.
+var stepLogFields = []string{
+	"type", "step", "epoch", "loss", "grad_norm", "param_norm",
+	"lr", "images_per_sec", "step_seconds", "arena_in_use_bytes",
+}
+
+// ReadStepLog parses a steplog JSONL stream into its step and epoch
+// records, preserving order within each kind. Unknown record types are
+// skipped (forward compatibility); malformed JSON is an error.
+func ReadStepLog(r io.Reader) (steps []StepRecord, epochs []EpochRecord, err error) {
+	dec := json.NewDecoder(r)
+	for line := 1; ; line++ {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("trace: steplog line %d: %w", line, err)
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, nil, fmt.Errorf("trace: steplog line %d: %w", line, err)
+		}
+		switch kind.Type {
+		case RecordStep:
+			var s StepRecord
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return nil, nil, fmt.Errorf("trace: steplog line %d: %w", line, err)
+			}
+			steps = append(steps, s)
+		case RecordEpoch:
+			var e EpochRecord
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, nil, fmt.Errorf("trace: steplog line %d: %w", line, err)
+			}
+			epochs = append(epochs, e)
+		}
+	}
+	return steps, epochs, nil
+}
+
+// CheckStepLog validates a steplog stream: every step line carries the
+// full schema field set, step numbers are strictly increasing, and the
+// stream is non-empty. It returns the record counts — what
+// `splitcnn train -checksteplog` and `make train-smoke` assert on.
+func CheckStepLog(r io.Reader) (steps, epochs int, err error) {
+	dec := json.NewDecoder(r)
+	last := 0
+	for line := 1; ; line++ {
+		var obj map[string]json.RawMessage
+		if err := dec.Decode(&obj); err == io.EOF {
+			break
+		} else if err != nil {
+			return 0, 0, fmt.Errorf("trace: steplog line %d: %w", line, err)
+		}
+		var kind string
+		if raw, ok := obj["type"]; ok {
+			json.Unmarshal(raw, &kind)
+		}
+		switch kind {
+		case RecordStep:
+			for _, f := range stepLogFields {
+				if _, ok := obj[f]; !ok {
+					return 0, 0, fmt.Errorf("trace: steplog line %d: missing field %q", line, f)
+				}
+			}
+			var n int
+			if err := json.Unmarshal(obj["step"], &n); err != nil {
+				return 0, 0, fmt.Errorf("trace: steplog line %d: bad step: %w", line, err)
+			}
+			if n <= last {
+				return 0, 0, fmt.Errorf("trace: steplog line %d: step %d not above previous %d", line, n, last)
+			}
+			last = n
+			steps++
+		case RecordEpoch:
+			epochs++
+		default:
+			return 0, 0, fmt.Errorf("trace: steplog line %d: unknown record type %q", line, kind)
+		}
+	}
+	if steps == 0 {
+		return 0, 0, fmt.Errorf("trace: steplog has no step records")
+	}
+	return steps, epochs, nil
+}

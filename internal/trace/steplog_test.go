@@ -1,0 +1,155 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"splitcnn/internal/trace"
+)
+
+func sampleStep(n int) trace.StepRecord {
+	return trace.StepRecord{
+		Step: n, Epoch: (n - 1) / 2, Loss: 2.3 - 0.1*float64(n),
+		GradNorm: 1.5, ParamNorm: 10.25, LR: 0.05,
+		ImagesPerSec: 128, StepSeconds: 0.25, ArenaInUseBytes: 1 << 20,
+	}
+}
+
+// TestStepLogGoldenSchema pins the steplog line schema: the exact field
+// set of step and epoch records, in emission order. Renaming or
+// dropping a field breaks external consumers; this test is the tripwire.
+func TestStepLogGoldenSchema(t *testing.T) {
+	var buf bytes.Buffer
+	l := trace.NewStepLog(&buf)
+	for n := 1; n <= 2; n++ {
+		if err := l.Step(sampleStep(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Epoch(trace.EpochRecord{Epoch: 0, Steps: 2, MeanLoss: 2.15, TestError: 0.9, LR: 0.05, EpochSeconds: 0.5, ImagesPerSec: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	wantStep := []string{"arena_in_use_bytes", "epoch", "grad_norm", "images_per_sec", "loss", "lr", "param_norm", "step", "step_seconds", "type"}
+	wantEpoch := []string{"epoch", "epoch_seconds", "images_per_sec", "lr", "mean_loss", "steps", "test_error", "type"}
+	for i, want := range [][]string{wantStep, wantStep, wantEpoch} {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &obj); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		var keys []string
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if strings.Join(keys, ",") != strings.Join(want, ",") {
+			t.Errorf("line %d fields = %v, want %v", i+1, keys, want)
+		}
+	}
+
+	steps, epochs, err := trace.CheckStepLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("CheckStepLog: %v", err)
+	}
+	if steps != 2 || epochs != 1 {
+		t.Fatalf("CheckStepLog = (%d, %d), want (2, 1)", steps, epochs)
+	}
+}
+
+// TestStepLogMonotonicSteps verifies both the writer and the checker
+// reject non-increasing step numbers.
+func TestStepLogMonotonicSteps(t *testing.T) {
+	var buf bytes.Buffer
+	l := trace.NewStepLog(&buf)
+	if err := l.Step(sampleStep(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Step(sampleStep(5)); err == nil {
+		t.Fatal("writer accepted a repeated step number")
+	}
+	if _, _, err := trace.CheckStepLog(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("checker accepted a repeated step number")
+	}
+}
+
+// TestStepLogRoundTrip checks ReadStepLog returns exactly what was
+// written, and that empty or truncated streams fail CheckStepLog.
+func TestStepLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := trace.NewStepLog(&buf)
+	var want []trace.StepRecord
+	for n := 1; n <= 5; n++ {
+		r := sampleStep(n)
+		want = append(want, r)
+		if err := l.Step(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Epoch(trace.EpochRecord{Epoch: 0, Steps: 5, MeanLoss: 2, TestError: 0.8, LR: 0.05, EpochSeconds: 1, ImagesPerSec: 64})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	steps, epochs, err := trace.ReadStepLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 5 || len(epochs) != 1 {
+		t.Fatalf("read %d steps / %d epochs, want 5 / 1", len(steps), len(epochs))
+	}
+	for i, s := range steps {
+		w := want[i]
+		w.Type = trace.RecordStep
+		if s != w {
+			t.Fatalf("step %d round-tripped to %+v, want %+v", i, s, w)
+		}
+	}
+	if _, _, err := trace.CheckStepLog(strings.NewReader("")); err == nil {
+		t.Fatal("CheckStepLog accepted an empty stream")
+	}
+	if _, _, err := trace.CheckStepLog(strings.NewReader(`{"type":"step","step":1}` + "\n")); err == nil {
+		t.Fatal("CheckStepLog accepted a step line missing schema fields")
+	}
+}
+
+// TestFlightRecorderRing pins the ring-buffer semantics: the dump holds
+// the most recent N records oldest-first, and capacity never grows.
+func TestFlightRecorderRing(t *testing.T) {
+	f := trace.NewFlightRecorder(4, 3)
+	for n := 1; n <= 10; n++ {
+		f.RecordStep(trace.StepRecord{Step: n})
+	}
+	for n := 1; n <= 7; n++ {
+		f.RecordSpan(trace.OpSpan{Name: "op", Step: n})
+	}
+	d := f.Dump()
+	if len(d.Steps) != 4 || len(d.Spans) != 3 {
+		t.Fatalf("dump holds %d steps / %d spans, want 4 / 3", len(d.Steps), len(d.Spans))
+	}
+	for i, s := range d.Steps {
+		if want := 7 + i; s.Step != want {
+			t.Errorf("dump step[%d] = %d, want %d (oldest-first, most recent window)", i, s.Step, want)
+		}
+	}
+	for i, s := range d.Spans {
+		if want := 5 + i; s.Step != want {
+			t.Errorf("dump span[%d] = step %d, want %d", i, s.Step, want)
+		}
+	}
+
+	// A part-full ring dumps only what was recorded.
+	g := trace.NewFlightRecorder(8, 8)
+	g.RecordStep(trace.StepRecord{Step: 1})
+	if d := g.Dump(); len(d.Steps) != 1 || len(d.Spans) != 0 {
+		t.Fatalf("part-full dump holds %d steps / %d spans, want 1 / 0", len(d.Steps), len(d.Spans))
+	}
+}

@@ -1,0 +1,282 @@
+package train_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/trace"
+	"splitcnn/internal/train"
+)
+
+// TestGuardHaltsOnInjectedInf injects an Inf into a conv weight after
+// step 2 and asserts the anomaly guards halt the run on step 3 — within
+// one step — with an error naming the guard, an op-attributed trip, and
+// a flight dump on disk that records both the offending op and the
+// corrupted tensor.
+func TestGuardHaltsOnInjectedInf(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseCfg()
+	cfg.Epochs = 1
+	dump := filepath.Join(t.TempDir(), "flight.json")
+	cfg.Guard = train.GuardConfig{Enabled: true, FlightPath: dump, SampleStride: 1}
+	var log bytes.Buffer
+	cfg.StepLog = trace.NewStepLog(&log)
+	const injectAt = 2
+	var injected string
+	cfg.AfterStep = func(step int, store *graph.ParamStore) {
+		if step != injectAt {
+			return
+		}
+		for _, p := range store.All() {
+			if strings.Contains(p.Name, "conv") && strings.HasSuffix(p.Name, ".w") {
+				p.Value.Data()[0] = float32(math.Inf(1))
+				injected = p.Name
+				return
+			}
+		}
+		t.Fatal("no conv weight found to corrupt")
+	}
+
+	_, err := train.Run(cfg, ds)
+	if err == nil {
+		t.Fatal("run completed despite injected Inf")
+	}
+	var ge *train.GuardError
+	if !errors.As(err, &ge) {
+		t.Fatalf("error %T is not a GuardError: %v", err, err)
+	}
+	if ge.Step != injectAt+1 {
+		t.Fatalf("guard fired at step %d, want %d (within one step of the injection)", ge.Step, injectAt+1)
+	}
+	if ge.Guard != "activation_nonfinite" {
+		t.Fatalf("guard %q fired, want activation_nonfinite", ge.Guard)
+	}
+	if ge.Op == "" {
+		t.Fatal("guard did not attribute a tripping op")
+	}
+	if !strings.Contains(err.Error(), ge.Guard) {
+		t.Fatalf("error %q does not name the guard", err)
+	}
+	if ge.DumpPath != dump {
+		t.Fatalf("dump path %q, want %q", ge.DumpPath, dump)
+	}
+
+	raw, rerr := os.ReadFile(dump)
+	if rerr != nil {
+		t.Fatalf("flight dump not written: %v", rerr)
+	}
+	var fd trace.FlightDump
+	if err := json.Unmarshal(raw, &fd); err != nil {
+		t.Fatalf("flight dump not valid JSON: %v", err)
+	}
+	if fd.Guard != ge.Guard || fd.TripOp != ge.Op || fd.TripStep != ge.Step {
+		t.Fatalf("dump header %s/%s/%d disagrees with error %s/%s/%d",
+			fd.Guard, fd.TripOp, fd.TripStep, ge.Guard, ge.Op, ge.Step)
+	}
+	foundSpan := false
+	for _, sp := range fd.Spans {
+		if sp.Name == ge.Op {
+			foundSpan = true
+		}
+	}
+	if !foundSpan {
+		t.Fatalf("dump spans do not include tripping op %q", ge.Op)
+	}
+	foundTensor := false
+	for _, th := range fd.Tensors {
+		if th.Name == injected && th.NonFiniteValues > 0 {
+			foundTensor = true
+		}
+	}
+	if !foundTensor {
+		t.Fatalf("dump tensor census misses corrupted param %q: %+v", injected, fd.Tensors)
+	}
+	if len(fd.Steps) == 0 {
+		t.Fatal("dump carries no step records")
+	}
+
+	// The non-finite loss of the tripping step still reaches the steplog
+	// (scrubbed to null) — the post-mortem keeps its last line.
+	if err := cfg.StepLog.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	steps, _, err := trace.CheckStepLog(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatalf("steplog from guarded run invalid: %v", err)
+	}
+	if steps != injectAt+1 {
+		t.Fatalf("steplog has %d steps, want %d", steps, injectAt+1)
+	}
+}
+
+// TestTrainStepLogStream runs a short guarded-off training and checks
+// the emitted JSONL stream: schema-valid per CheckStepLog, one record
+// per optimizer step with monotonic step numbers, and per-epoch rollups
+// that agree with the returned learning curves.
+func TestTrainStepLogStream(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseCfg()
+	cfg.Epochs = 2
+	var buf bytes.Buffer
+	cfg.StepLog = trace.NewStepLog(&buf)
+	res, err := train.Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.StepLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	perEpoch := ds.Cfg.TrainN / cfg.BatchSize
+	wantSteps := cfg.Epochs * perEpoch
+	steps, epochs, err := trace.CheckStepLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("steplog failed validation: %v", err)
+	}
+	if steps != wantSteps || epochs != cfg.Epochs {
+		t.Fatalf("steplog counts %d steps / %d epochs, want %d / %d", steps, epochs, wantSteps, cfg.Epochs)
+	}
+
+	recs, eps, err := trace.ReadStepLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.Step != i+1 {
+			t.Fatalf("record %d has step %d, want %d", i, r.Step, i+1)
+		}
+		if r.Epoch != i/perEpoch {
+			t.Fatalf("step %d attributed to epoch %d, want %d", r.Step, r.Epoch, i/perEpoch)
+		}
+		if r.StepSeconds <= 0 || r.ImagesPerSec <= 0 {
+			t.Fatalf("step %d has degenerate timing: %+v", r.Step, r)
+		}
+		if math.IsNaN(r.Loss) || math.IsNaN(r.GradNorm) || r.ParamNorm <= 0 {
+			t.Fatalf("step %d has unhealthy stats: %+v", r.Step, r)
+		}
+		if r.ArenaInUseBytes < 0 {
+			t.Fatalf("step %d arena bytes %d negative", r.Step, r.ArenaInUseBytes)
+		}
+	}
+	for i, e := range eps {
+		if e.Epoch != i || e.Steps != perEpoch {
+			t.Fatalf("epoch record %d: %+v", i, e)
+		}
+		if math.Abs(e.MeanLoss-res.TrainLoss[i]) > 1e-9 {
+			t.Fatalf("epoch %d rollup loss %v disagrees with result %v", i, e.MeanLoss, res.TrainLoss[i])
+		}
+		if math.Abs(e.TestError-res.TestErr[i]) > 1e-9 {
+			t.Fatalf("epoch %d rollup test error %v disagrees with result %v", i, e.TestError, res.TestErr[i])
+		}
+	}
+}
+
+// TestTrainDriftCalibration trains one epoch with a Calibrate device and
+// expects a populated plan-vs-actual report plus calib.* gauges.
+func TestTrainDriftCalibration(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseCfg()
+	cfg.Epochs = 1
+	cfg.Metrics = trace.NewMetrics()
+	dev := costmodel.P100()
+	cfg.Calibrate = &dev
+	res, err := train.Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drift == nil {
+		t.Fatal("calibrated run returned no drift report")
+	}
+	if len(res.Drift.Ops) == 0 || res.Drift.MaxOp == "" {
+		t.Fatalf("drift report empty: %+v", res.Drift)
+	}
+	for _, d := range res.Drift.Ops {
+		if d.Ratio <= 0 || math.IsNaN(d.Ratio) || math.IsInf(d.Ratio, 0) {
+			t.Fatalf("op %s has degenerate drift ratio %v", d.Name, d.Ratio)
+		}
+	}
+	if v := cfg.Metrics.Gauge("calib.ops_measured").Value(); v != float64(len(res.Drift.Ops)) {
+		t.Fatalf("calib.ops_measured gauge %v, want %d", v, len(res.Drift.Ops))
+	}
+	if v := cfg.Metrics.Gauge("calib.op_drift_ratio_max").Value(); v <= 0 {
+		t.Fatalf("calib.op_drift_ratio_max gauge %v, want > 0", v)
+	}
+}
+
+// TestDashboard exercises the trainer's HTTP surface: the live page, the
+// content-negotiated /metricsz (JSON default, Prometheus on request)
+// with scrape-time quantile gauges, /healthz, and the pprof gate.
+func TestDashboard(t *testing.T) {
+	met := trace.NewMetrics()
+	met.Gauge("train.loss").Set(1.5)
+	met.Histogram("train.step_seconds", trace.LatencyBuckets).Observe(0.01)
+	d, err := train.StartDashboard("127.0.0.1:0", met, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr().String()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metricsz")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/metricsz: code %d type %s", code, ctype)
+	}
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metricsz not JSON: %v", err)
+	}
+	if snap.Gauges["train.loss"] != 1.5 {
+		t.Fatalf("train.loss gauge %v, want 1.5", snap.Gauges["train.loss"])
+	}
+	if snap.Gauges["train.step_p50_seconds"] <= 0 {
+		t.Fatalf("scrape-time p50 gauge missing: %v", snap.Gauges)
+	}
+
+	code, body, ctype = get("/metricsz?format=prom")
+	if code != http.StatusOK || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metricsz?format=prom: code %d type %s", code, ctype)
+	}
+	if !strings.Contains(body, "# TYPE") || !strings.Contains(body, "train_loss") {
+		t.Fatalf("prom exposition missing families:\n%s", body)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"training"`) {
+		t.Fatalf("/healthz: code %d body %s", code, body)
+	}
+
+	code, body, _ = get("/")
+	if code != http.StatusOK || !strings.Contains(body, "splitcnn trainer") {
+		t.Fatalf("dashboard page: code %d", code)
+	}
+
+	if code, _, _ = get("/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof served despite being disabled: code %d", code)
+	}
+}

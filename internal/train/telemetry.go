@@ -1,0 +1,43 @@
+package train
+
+import (
+	"math"
+
+	"splitcnn/internal/graph"
+)
+
+// Norms returns the global L2 norms of every trainable parameter's
+// gradient and value in one pass over the store — the grad_norm /
+// param_norm columns of the step telemetry stream and the quantity the
+// gradient-explosion guard thresholds. Frozen parameters are skipped
+// (their gradients are never applied).
+func Norms(store *graph.ParamStore) (gradNorm, paramNorm float64) {
+	var g2, p2 float64
+	for _, p := range store.All() {
+		if p.Frozen {
+			continue
+		}
+		g2 += p.Grad.SumSquares()
+		p2 += p.Value.SumSquares()
+	}
+	return math.Sqrt(g2), math.Sqrt(p2)
+}
+
+// safeMean is sum/n with the n == 0 case pinned to 0 instead of NaN —
+// the rollup guard that keeps an empty epoch from poisoning the
+// train.loss gauge.
+func safeMean(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// rate is samples/seconds with a degenerate clock pinned to 0 —
+// encoding/json rejects ±Inf, so a throughput figure must never be one.
+func rate(samples int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(samples) / seconds
+}

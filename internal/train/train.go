@@ -11,10 +11,12 @@ import (
 	"time"
 
 	"splitcnn/internal/core"
+	"splitcnn/internal/costmodel"
 	"splitcnn/internal/data"
 	"splitcnn/internal/graph"
 	"splitcnn/internal/models"
 	"splitcnn/internal/nn"
+	"splitcnn/internal/sim"
 	"splitcnn/internal/snapshot"
 	"splitcnn/internal/tensor"
 	"splitcnn/internal/trace"
@@ -96,6 +98,26 @@ type Config struct {
 	// running statistics) before training starts; SavePath writes one
 	// after the final epoch — the artifact `splitcnn serve` loads.
 	LoadPath, SavePath string
+	// StepLog, when non-nil, receives one telemetry record per optimizer
+	// step (loss, gradient/parameter L2 norms, learning rate, images/s,
+	// step wall time, arena footprint) plus one rollup per epoch — the
+	// JSONL stream behind `splitcnn train -steplog`. The caller owns the
+	// sink (and its Close).
+	StepLog *trace.StepLog
+	// Guard arms the anomaly guards and flight recorder; see GuardConfig.
+	Guard GuardConfig
+	// AfterStep, when non-nil, runs after each optimizer update with the
+	// global 1-based step number and the live parameter store — an
+	// observability/testing seam (the guard tests use it to inject
+	// corrupted parameters mid-run).
+	AfterStep func(step int, store *graph.ParamStore)
+	// Calibrate, when non-nil and the graph is fixed (non-stochastic),
+	// compares the measured per-op wall-clock collected by the executor
+	// hook against this device's cost model after the run, publishing
+	// calib.op_drift_ratio.* gauges into Metrics and Result.Drift — the
+	// plan-vs-actual signal that shows when the planner's cost model has
+	// drifted from the real engine. Requires Metrics.
+	Calibrate *costmodel.DeviceSpec
 }
 
 // Result reports a completed run.
@@ -108,6 +130,9 @@ type Result struct {
 	FinalTestErr float64
 	// SplitConvs/TotalConvs report the realized splitting depth.
 	SplitConvs, TotalConvs int
+	// Drift is the plan-vs-actual calibration report (nil unless
+	// Config.Calibrate ran).
+	Drift *sim.DriftReport
 }
 
 // Run trains per cfg on ds and returns learning curves.
@@ -191,10 +216,23 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 	store.InitFromGraph(evalGraph, rng, nn.KaimingInit)
 
 	// Observability: one shared hook base keeps the per-step executors'
-	// spans on a single continuous timeline.
+	// spans on a single continuous timeline. The same hook feeds the
+	// trace recorder, the exec.* metrics, the flight recorder's op-span
+	// ring, the guards' sampled output scan, and the plan-vs-actual
+	// calibration accumulator; globalStep is read by the hook closure so
+	// flight spans attribute to the step they ran in.
+	var gs *guardState
+	if cfg.Guard.Enabled {
+		gs = newGuardState(cfg.Guard, cfg.Metrics)
+	}
+	var calib map[string]sim.OpSample
+	if cfg.Calibrate != nil && !split.Stochastic {
+		calib = make(map[string]sim.OpSample)
+	}
+	globalStep := 0
 	var hook graph.OpHook
 	var hookBase time.Time
-	if cfg.Recorder != nil || cfg.Metrics != nil {
+	if cfg.Recorder != nil || cfg.Metrics != nil || gs != nil || calib != nil {
 		hookBase = time.Now()
 		hook = func(ev graph.OpEvent) {
 			name := ev.Name
@@ -207,7 +245,17 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 			if cfg.Metrics != nil {
 				cfg.Metrics.Counter("exec.ops").Add(1)
 				cfg.Metrics.Counter("exec.output_bytes").Add(ev.OutputBytes)
-				cfg.Metrics.Histogram("exec.op_seconds", nil).Observe(ev.Dur)
+				cfg.Metrics.Histogram("exec.op_seconds", trace.LatencyBuckets).Observe(ev.Dur)
+			}
+			if gs != nil {
+				gs.flight.RecordSpan(trace.OpSpan{Name: name, Step: globalStep + 1, Start: ev.Start, Dur: ev.Dur})
+				gs.scan(name, ev)
+			}
+			if calib != nil {
+				s := calib[name]
+				s.Seconds += ev.Dur
+				s.Count++
+				calib[name] = s
 			}
 		}
 	}
@@ -268,6 +316,7 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 		}
 		perm := ds.Shuffled(rng)
 		var lossSum float64
+		epochStart := time.Now()
 		for s := 0; s < steps; s++ {
 			ex := trainEx
 			if split.Stochastic {
@@ -288,7 +337,8 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			lossSum += float64(outs[0].Data()[0])
+			loss := float64(outs[0].Data()[0])
+			lossSum += loss
 			if err := ex.Backward(); err != nil {
 				return nil, err
 			}
@@ -298,13 +348,50 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 				// so the next minibatch's graph reuses them.
 				ex.Recycle()
 			}
+			globalStep++
+			stepSecs := time.Since(stepStart).Seconds()
+			// Step telemetry: the norms pass runs only when someone
+			// consumes it (steplog, guards, or metrics).
+			var gradNorm, paramNorm float64
+			if cfg.StepLog != nil || gs != nil || cfg.Metrics != nil {
+				gradNorm, paramNorm = Norms(store)
+			}
+			if cfg.StepLog != nil || gs != nil {
+				rec := trace.StepRecord{
+					Step: globalStep, Epoch: epoch, Loss: loss,
+					GradNorm: gradNorm, ParamNorm: paramNorm, LR: opt.LR,
+					ImagesPerSec: rate(cfg.BatchSize, stepSecs), StepSeconds: stepSecs,
+					ArenaInUseBytes: arena.Stats().InUseBytes,
+				}
+				if cfg.StepLog != nil {
+					if err := cfg.StepLog.Step(rec); err != nil {
+						return nil, err
+					}
+				}
+				if gs != nil {
+					gs.flight.RecordStep(rec)
+				}
+			}
 			if cfg.Metrics != nil {
 				cfg.Metrics.Counter("train.steps").Add(1)
 				cfg.Metrics.Counter("train.samples").Add(int64(cfg.BatchSize))
-				cfg.Metrics.Histogram("train.step_seconds", nil).Observe(time.Since(stepStart).Seconds())
+				cfg.Metrics.Histogram("train.step_seconds", trace.LatencyBuckets).Observe(stepSecs)
+				cfg.Metrics.Gauge("train.grad_norm").Set(gradNorm)
+				cfg.Metrics.Gauge("train.param_norm").Set(paramNorm)
+				cfg.Metrics.Gauge("train.lr").Set(opt.LR)
+				cfg.Metrics.Gauge("train.images_per_sec").Set(rate(cfg.BatchSize, stepSecs))
 				arena.Stats().Record("arena", cfg.Metrics)
 			}
+			if gs != nil {
+				if err := gs.check(globalStep, loss, gradNorm, store); err != nil {
+					return nil, err
+				}
+			}
+			if cfg.AfterStep != nil {
+				cfg.AfterStep(globalStep, store)
+			}
 		}
+		epochSecs := time.Since(epochStart).Seconds()
 		if recalibrate && cfg.EvalUnsplit {
 			if err := recalibrateBN(perm); err != nil {
 				return nil, err
@@ -314,18 +401,42 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.TrainLoss = append(res.TrainLoss, lossSum/float64(steps))
+		// safeMean keeps a zero-step epoch (unreachable today — Run
+		// rejects datasets smaller than one batch up front — but cheap
+		// insurance against refactors) from poisoning the train.loss
+		// gauge and the steplog with NaN.
+		meanLoss := safeMean(lossSum, steps)
+		res.TrainLoss = append(res.TrainLoss, meanLoss)
 		res.TestErr = append(res.TestErr, testErr)
 		if cfg.Metrics != nil {
-			cfg.Metrics.Gauge("train.loss").Set(lossSum / float64(steps))
+			cfg.Metrics.Gauge("train.loss").Set(meanLoss)
 			cfg.Metrics.Gauge("train.test_error").Set(testErr)
 			cfg.Metrics.Counter("train.epochs").Add(1)
 		}
+		if cfg.StepLog != nil {
+			if err := cfg.StepLog.Epoch(trace.EpochRecord{
+				Epoch: epoch, Steps: steps, MeanLoss: meanLoss, TestError: testErr,
+				LR: opt.LR, EpochSeconds: epochSecs,
+				ImagesPerSec: rate(steps*cfg.BatchSize, epochSecs),
+			}); err != nil {
+				return nil, err
+			}
+		}
 		if cfg.Progress != nil {
-			cfg.Progress(epoch, lossSum/float64(steps), testErr)
+			cfg.Progress(epoch, meanLoss, testErr)
 		}
 	}
 	res.FinalTestErr = res.TestErr[len(res.TestErr)-1]
+	if len(calib) > 0 {
+		rep, err := sim.DriftFromMeasured(trainGraph, *cfg.Calibrate, calib)
+		if err != nil {
+			return nil, fmt.Errorf("train: calibration: %w", err)
+		}
+		res.Drift = rep
+		if cfg.Metrics != nil {
+			rep.RecordMetrics(cfg.Metrics)
+		}
+	}
 	if cfg.SavePath != "" {
 		if err := snapshot.SaveFile(cfg.SavePath, store, base.BNStates); err != nil {
 			return nil, fmt.Errorf("train: save snapshot: %w", err)
