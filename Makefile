@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve train-smoke
+.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve train-smoke compile-smoke
 
 # Kernel micro-benchmarks: the CPU execution engine's hot paths
 # (blocked GEMM, im2col, convolution, full arena-backed train step —
 # with and without step telemetry).
-KERNEL_BENCH = MatMul$$|Im2Col$$|TrainStep$$|TrainStepSteplog$$|Conv2DForward$$|GemmSquare|ConvIm2Col3x3$$|ConvWinograd3x3$$
+KERNEL_BENCH = MatMul$$|Im2Col$$|TrainStep$$|TrainStepSteplog$$|Conv2DForward$$|GemmSquare|ConvIm2Col3x3$$|ConvWinograd3x3$$|InterpretedForward$$|CompiledForward$$
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ fmt:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: vet fmt build race bench-smoke serve-smoke report-smoke train-smoke
+ci: vet fmt build race bench-smoke serve-smoke compile-smoke report-smoke train-smoke
 
 # bench-kernels measures the kernel micro-benchmarks and appends the
 # run to BENCH_kernels.json (the committed perf trajectory). Label the
@@ -49,6 +49,15 @@ bench-smoke:
 # needs nothing beyond the splitcnn binary (no curl).
 serve-smoke:
 	$(GO) run ./cmd/splitcnn serve -smoke
+
+# compile-smoke lowers VGG-19 and ResNet-18 through graph.Compile,
+# renders the slab-timeline report, and boots the server through the
+# compiled path. The subcommand itself verifies the plotted peak
+# against the mapped slab size with ==.
+compile-smoke:
+	$(GO) run ./cmd/splitcnn compile -arch vgg19 -o /tmp/splitcnn-compile.html
+	$(GO) run ./cmd/splitcnn compile -arch resnet18
+	$(GO) run ./cmd/splitcnn serve -smoke -compiled
 
 # bench-serve load-tests an in-process server and appends the run to
 # BENCH_serve.json (the committed serving-performance trajectory).

@@ -464,6 +464,81 @@ func BenchmarkTrainStepSteplog(b *testing.B) {
 	}
 }
 
+// benchEvalModel builds the mini eval-mode VGG-19 used by the
+// forward-path benchmarks: BN folds in place and every conv+ReLU pair
+// fuses under the compiler, so the interpreted/compiled pair prices
+// exactly what graph.Compile buys.
+func benchEvalModel(b *testing.B) (*models.Model, *graph.ParamStore, graph.Feeds) {
+	b.Helper()
+	const batch = 8
+	m, err := models.Build("vgg19", models.Config{
+		BatchSize: batch, Classes: 10, InputC: 3, InputH: 32, InputW: 32,
+		WidthDiv: 16, BatchNorm: true, Eval: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Graph.SetOutput(m.Logits)
+	rng := rand.New(rand.NewSource(1))
+	store := graph.NewParamStore()
+	store.InitFromGraph(m.Graph, rng, nn.KaimingInit)
+	xt := tensor.New(batch, 3, 32, 32)
+	xt.RandNormal(rng, 1)
+	return m, store, graph.Feeds{"image": xt, "labels": tensor.New(batch)}
+}
+
+// BenchmarkInterpretedForward is the eval-mode forward pass through the
+// interpreted arena executor — the baseline BenchmarkCompiledForward is
+// read against.
+func BenchmarkInterpretedForward(b *testing.B) {
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	m, store, feeds := benchEvalModel(b)
+	ex, err := graph.NewExecutor(m.Graph, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex.UseArena(tensor.NewArena())
+	for i := 0; i < 3; i++ {
+		if _, err := ex.Forward(feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Forward(feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledForward is the same forward through graph.Compile's
+// static program: fused conv+bias+ReLU passes, in-place BN epilogues,
+// and a fixed-offset slab instead of per-op arena traffic. Warmed runs
+// are zero-allocation (pinned by TestCompiledForwardZeroAlloc).
+func BenchmarkCompiledForward(b *testing.B) {
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	m, store, feeds := benchEvalModel(b)
+	prog, err := graph.Compile(m.Graph, store, graph.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := prog.Forward(feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Forward(feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSplitTransform measures the graph rewriter itself on the
 // full-size ResNet-50 — the cost stochastic splitting pays per
 // minibatch.

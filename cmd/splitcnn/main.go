@@ -25,7 +25,10 @@
 //	    report, one chart per HMMS memory pool; -train run.jsonl
 //	    renders the training page (loss, grad norms, step time) from a
 //	    steplog stream instead
-//	splitcnn serve     -addr :8080 -arch vgg19 -snapshot w.snap
+//	splitcnn compile   -arch vgg19 [-plan] [-o plan.html]
+//	    lower a model through graph.Compile (inference fusion + static
+//	    memory plan) and dump the plan; verifies plotted peak == slab
+//	splitcnn serve     -addr :8080 -arch vgg19 -snapshot w.snap [-compiled]
 //	    HTTP inference server with dynamic micro-batching
 //	splitcnn loadtest  -spawn -c 16 -n 512
 //	    closed-loop concurrent load test against a serve endpoint
@@ -76,6 +79,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "maxbatch":
 		err = cmdMaxBatch(os.Args[2:])
+	case "compile":
+		err = cmdCompile(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "loadtest":
@@ -114,8 +119,13 @@ subcommands:
                     report, one chart per HMMS memory pool (-measured
                     to time real kernels via internal/profile), or the
                     training page from a steplog (-train run.jsonl)
+  compile           lower a model through graph.Compile and dump the
+                    rewrite stats + static memory plan (-plan for the
+                    per-node table, -o for the HTML slab timeline);
+                    self-verifies plotted peak == mapped slab
   serve             HTTP inference server with dynamic micro-batching
-                    over the arena executor (-smoke for a CI self-test)
+                    over the arena executor (-smoke for a CI self-test,
+                    -compiled to serve the compiled static program)
   loadtest          closed-loop concurrent client for a serve endpoint
                     (-spawn to self-host; emits a Benchmark line for
                     cmd/benchjson -o BENCH_serve.json)
@@ -407,6 +417,7 @@ func cmdTrain(args []string) error {
 	maxGrad := fs.Float64("maxgradnorm", 0, "gradient-explosion threshold on the global grad L2 norm (with -guards; 0 = 1e6)")
 	flight := fs.String("flight", "", "write the flight-recorder dump (recent steps + op spans) here when a guard trips")
 	calibrate := fs.Bool("calibrate", false, "after the run, report measured-vs-predicted per-op drift against the -device cost model")
+	compiledEval := fs.Bool("compiledeval", false, "run per-epoch validation through the compiled static program (bit-identical results)")
 	dev := deviceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -442,6 +453,7 @@ func cmdTrain(args []string) error {
 		LRDecayEpochs: []int{*epochs * 2 / 3},
 		Split:         core.Config{Depth: *depth, NH: grid[0], NW: grid[1], Stochastic: *stochastic, Omega: 0.2},
 		EvalUnsplit:   *stochastic,
+		CompiledEval:  *compiledEval,
 		Seed:          *seed,
 		SavePath:      *savePath,
 		LoadPath:      *loadPath,

@@ -35,6 +35,7 @@ type specFlags struct {
 	inW      *int
 	snapshot *string
 	maxBatch *int
+	compiled *bool
 }
 
 func addSpecFlags(fs *flag.FlagSet) *specFlags {
@@ -48,6 +49,7 @@ func addSpecFlags(fs *flag.FlagSet) *specFlags {
 		inW:      fs.Int("inw", 32, "input width (with -arch)"),
 		snapshot: fs.String("snapshot", "", "weight snapshot to restore (from `splitcnn train -save`)"),
 		maxBatch: fs.Int("maxbatch", 8, "executor batch size = batching cap"),
+		compiled: fs.Bool("compiled", false, "serve through the compiled static program (fused ops + fixed-offset memory plan); logits are bit-identical"),
 	}
 }
 
@@ -55,6 +57,7 @@ func (sf *specFlags) spec() serve.Spec {
 	s := serve.Spec{
 		Snapshot: *sf.snapshot,
 		MaxBatch: *sf.maxBatch,
+		Compiled: *sf.compiled,
 	}
 	if *sf.model != "" {
 		s.ModelFile = *sf.model

@@ -332,7 +332,24 @@ func (e *Executor) release(n *Node) {
 		if e.isOutput[n.ID] {
 			// The caller may still read this output tensor after
 			// Backward returns; reclaim it at the next Forward instead.
-			e.retired = append(e.retired, e.vals[n.ID])
+			// Never retire the same tensor twice: an output that is also
+			// consumed by a kept-for-backward node crosses this path from
+			// both Forward's dead-end sweep and Backward's per-node
+			// release, and a duplicate entry would Put the buffer twice
+			// at the next Forward — poisoning it if the arena re-vended
+			// it between the two Puts. The list is at most a few entries
+			// (one per graph output), so the scan is free.
+			t := e.vals[n.ID]
+			dup := false
+			for _, r := range e.retired {
+				if r == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				e.retired = append(e.retired, t)
+			}
 		} else {
 			e.arena.Put(e.vals[n.ID])
 		}

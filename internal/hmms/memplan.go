@@ -2,7 +2,8 @@ package hmms
 
 import (
 	"fmt"
-	"sort"
+
+	"splitcnn/internal/memlayout"
 )
 
 // Pool identifies one of the three contiguous memory pools of §4.4.
@@ -152,51 +153,25 @@ func PlanMemory(p *Program, a *Assignment, plan *OffloadPlan, alloc Allocator) *
 }
 
 // layout assigns offsets with the chosen allocator and returns the pool
-// size (peak offset + size).
+// size (peak offset + size). The packing algorithms live in
+// internal/memlayout, shared with the compiled-execution slab planner;
+// this wrapper maps hmms pool blocks onto layout blocks and copies the
+// offsets back.
 func layout(blocks []*Block, alloc Allocator) int64 {
-	// Allocate in order of start (FIFO through the serialized program),
-	// breaking ties by larger size for tighter packing.
-	sort.SliceStable(blocks, func(i, j int) bool {
-		if blocks[i].Start != blocks[j].Start {
-			return blocks[i].Start < blocks[j].Start
-		}
-		return blocks[i].Bytes > blocks[j].Bytes
-	})
+	ml := make([]*memlayout.Block, len(blocks))
+	for i, b := range blocks {
+		ml[i] = &memlayout.Block{Start: b.Start, End: b.End, Bytes: b.Bytes}
+	}
 	var peak int64
 	if alloc == NoReuse {
-		var off int64
-		for _, b := range blocks {
-			b.Offset = off
-			off += b.Bytes
-		}
-		return off
+		peak = memlayout.Sequential(ml)
+	} else {
+		peak = memlayout.FirstFit(ml)
 	}
-	// First-fit over live blocks sorted by offset.
-	var live []*Block
-	for _, b := range blocks {
-		// Expire blocks that ended strictly before this one starts.
-		kept := live[:0]
-		for _, l := range live {
-			if l.End >= b.Start {
-				kept = append(kept, l)
-			}
-		}
-		live = kept
-		sort.Slice(live, func(i, j int) bool { return live[i].Offset < live[j].Offset })
-		var off int64
-		for _, l := range live {
-			if off+b.Bytes <= l.Offset {
-				break
-			}
-			if end := l.Offset + l.Bytes; end > off {
-				off = end
-			}
-		}
-		b.Offset = off
-		live = append(live, b)
-		if top := off + b.Bytes; top > peak {
-			peak = top
-		}
+	// memlayout reorders its own slice but writes offsets through the
+	// pointers, so index i still pairs ml[i] with blocks[i].
+	for i, b := range blocks {
+		b.Offset = ml[i].Offset
 	}
 	return peak
 }

@@ -1,0 +1,90 @@
+// Package memlayout implements the static offset assignment at the core
+// of the paper's §4.4 memory planner: given blocks with byte sizes and
+// [Start, End] lifetimes in op indices, lay them out in one contiguous
+// pool so that no two simultaneously-live blocks overlap, and return the
+// pool's peak size. It is the machinery shared by the offline HMMS
+// simulation planner (internal/hmms) and the compiled-execution slab
+// planner (internal/graph.Compile): both want the same first-fit
+// packing, one over simulated TSOs, one over real host buffers.
+//
+// The package is a leaf — it imports nothing from this repository — so
+// both clients can depend on it without cycles.
+package memlayout
+
+import "sort"
+
+// Block is one allocation request: Bytes of storage live from the start
+// of step Start through the end of step End (inclusive). FirstFit and
+// Sequential write the resulting Offset in place.
+type Block struct {
+	// Start and End bound the lifetime in op/step indices, inclusive.
+	Start, End int
+	Bytes      int64
+	Offset     int64
+}
+
+// FirstFit places each block at the lowest offset where it fits among
+// blocks still live at its birth — the paper's allocation strategy.
+// Blocks are considered in order of Start (FIFO through the serialized
+// program), breaking ties by larger size for tighter packing; the sort
+// is stable so equal blocks keep their submission order, which makes
+// the layout deterministic. It returns the pool size (peak offset +
+// size). The caller's slice order is preserved; offsets are written in
+// place.
+func FirstFit(blocks []*Block) int64 {
+	blocks = sortedCopy(blocks)
+	var peak int64
+	var live []*Block
+	for _, b := range blocks {
+		// Expire blocks that ended strictly before this one starts.
+		kept := live[:0]
+		for _, l := range live {
+			if l.End >= b.Start {
+				kept = append(kept, l)
+			}
+		}
+		live = kept
+		sort.Slice(live, func(i, j int) bool { return live[i].Offset < live[j].Offset })
+		var off int64
+		for _, l := range live {
+			if off+b.Bytes <= l.Offset {
+				break
+			}
+			if end := l.Offset + l.Bytes; end > off {
+				off = end
+			}
+		}
+		b.Offset = off
+		live = append(live, b)
+		if top := off + b.Bytes; top > peak {
+			peak = top
+		}
+	}
+	return peak
+}
+
+// Sequential gives every block a distinct offset with no lifetime-based
+// reuse — the ablation baseline against FirstFit.
+func Sequential(blocks []*Block) int64 {
+	blocks = sortedCopy(blocks)
+	var off int64
+	for _, b := range blocks {
+		b.Offset = off
+		off += b.Bytes
+	}
+	return off
+}
+
+// sortedCopy returns the blocks in allocation order — by Start, larger
+// first among equals — without disturbing the caller's slice.
+func sortedCopy(blocks []*Block) []*Block {
+	ordered := make([]*Block, len(blocks))
+	copy(ordered, blocks)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		return ordered[i].Bytes > ordered[j].Bytes
+	})
+	return ordered
+}

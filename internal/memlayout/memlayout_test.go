@@ -1,0 +1,102 @@
+package memlayout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func overlaps(a, b *Block) bool {
+	liveTogether := a.Start <= b.End && b.Start <= a.End
+	bytesOverlap := a.Offset < b.Offset+b.Bytes && b.Offset < a.Offset+a.Bytes
+	return liveTogether && bytesOverlap
+}
+
+// TestFirstFitNoOverlap drives randomized lifetimes through FirstFit
+// and asserts the core soundness invariant: two blocks live at the same
+// step never share bytes, and the returned peak is exactly the highest
+// offset+size.
+func TestFirstFitNoOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		blocks := make([]*Block, n)
+		for i := range blocks {
+			s := rng.Intn(30)
+			blocks[i] = &Block{
+				Start: s,
+				End:   s + rng.Intn(10),
+				Bytes: int64(1+rng.Intn(1000)) * 4,
+			}
+		}
+		peak := FirstFit(blocks)
+		var top int64
+		for i, a := range blocks {
+			if a.Offset < 0 {
+				t.Fatalf("trial %d: negative offset %d", trial, a.Offset)
+			}
+			if end := a.Offset + a.Bytes; end > top {
+				top = end
+			}
+			for _, b := range blocks[i+1:] {
+				if overlaps(a, b) {
+					t.Fatalf("trial %d: blocks overlap: [%d,%d]@%d+%d vs [%d,%d]@%d+%d",
+						trial, a.Start, a.End, a.Offset, a.Bytes, b.Start, b.End, b.Offset, b.Bytes)
+				}
+			}
+		}
+		if top != peak {
+			t.Fatalf("trial %d: peak %d != max offset+size %d", trial, peak, top)
+		}
+	}
+}
+
+// TestFirstFitReuses pins the point of the allocator: two large blocks
+// with disjoint lifetimes share one offset instead of stacking.
+func TestFirstFitReuses(t *testing.T) {
+	a := &Block{Start: 0, End: 1, Bytes: 1024}
+	b := &Block{Start: 2, End: 3, Bytes: 1024}
+	if peak := FirstFit([]*Block{a, b}); peak != 1024 {
+		t.Fatalf("peak %d, want 1024 (disjoint lifetimes must reuse)", peak)
+	}
+	if a.Offset != b.Offset {
+		t.Fatalf("offsets %d vs %d, want shared", a.Offset, b.Offset)
+	}
+}
+
+// TestSequentialStacks pins the ablation baseline: no reuse ever.
+func TestSequentialStacks(t *testing.T) {
+	a := &Block{Start: 0, End: 1, Bytes: 1024}
+	b := &Block{Start: 2, End: 3, Bytes: 512}
+	if peak := Sequential([]*Block{a, b}); peak != 1536 {
+		t.Fatalf("peak %d, want 1536", peak)
+	}
+	if a.Offset == b.Offset {
+		t.Fatal("sequential layout must not share offsets")
+	}
+}
+
+// TestFirstFitDeterministic: identical inputs yield identical offsets —
+// the stable sort is part of the contract, because hmms golden plans
+// and compiled-slab tests both depend on reproducible layouts.
+func TestFirstFitDeterministic(t *testing.T) {
+	build := func() []*Block {
+		rng := rand.New(rand.NewSource(7))
+		blocks := make([]*Block, 25)
+		for i := range blocks {
+			s := rng.Intn(12)
+			blocks[i] = &Block{Start: s, End: s + rng.Intn(6), Bytes: int64(1+rng.Intn(100)) * 4}
+		}
+		return blocks
+	}
+	x, y := build(), build()
+	px, py := FirstFit(x), FirstFit(y)
+	if px != py {
+		t.Fatalf("peaks differ: %d vs %d", px, py)
+	}
+	// Compare by identity of (Start, End, Bytes) ordering after layout.
+	for i := range x {
+		if x[i].Offset != y[i].Offset || x[i].Start != y[i].Start || x[i].Bytes != y[i].Bytes {
+			t.Fatalf("block %d differs between identical runs: %+v vs %+v", i, x[i], y[i])
+		}
+	}
+}

@@ -21,16 +21,37 @@ type BNState struct {
 	Momentum    float64
 
 	mu sync.Mutex
+	// version counts Update calls; the compiled execution path uses it
+	// to cache the precast inference statistics between forwards.
+	version uint64
 }
 
 // Update folds fresh batch statistics into the running estimates.
 func (s *BNState) Update(mean, variance []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version++
 	for ch := range mean {
 		s.RunningMean[ch] = (1-s.Momentum)*s.RunningMean[ch] + s.Momentum*mean[ch]
 		s.RunningVar[ch] = (1-s.Momentum)*s.RunningVar[ch] + s.Momentum*variance[ch]
 	}
+}
+
+// Version returns the number of Update calls so far. Callers that
+// mutate RunningMean/RunningVar directly (checkpoint restore) should
+// call Invalidate instead of tracking versions themselves.
+func (s *BNState) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Invalidate bumps the version so cached derived statistics are
+// recomputed; call it after mutating the running statistics directly.
+func (s *BNState) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
 }
 
 // NewBNState returns fresh running statistics for c channels.
@@ -61,6 +82,9 @@ type BatchNorm struct {
 	Recompute bool
 	// Training selects batch statistics (true) or running statistics.
 	Training bool
+	// cache holds the precast inference statistics for the compiled
+	// execution path (see compiled.go).
+	cache bnEvalCache
 }
 
 // NewBatchNorm returns a train-mode batch normalization bound to state.

@@ -20,6 +20,9 @@ type BNReLU struct {
 	// be positive so the activation is invertible.
 	Slope    float64
 	Training bool
+	// cache holds the precast inference statistics for the compiled
+	// execution path (see compiled.go).
+	cache bnEvalCache
 }
 
 // NewBNReLU returns a train-mode fused BN+LeakyReLU bound to state.

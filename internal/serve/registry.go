@@ -49,6 +49,11 @@ type Spec struct {
 	// MaxBatch is the executor batch size and the batcher's coalescing
 	// cap (default 8).
 	MaxBatch int
+	// Compiled serves through graph.Compile's static program instead of
+	// the interpreted arena executor: inference rewrites (fused
+	// conv+bias+ReLU passes, elided dropout) plus a fixed-offset memory
+	// plan in one pre-sized slab. Logits are bit-identical either way.
+	Compiled bool
 }
 
 // Instance is one servable model: an inference-mode graph at the
@@ -62,6 +67,7 @@ type Instance struct {
 	MaxBatch int
 
 	ex     *graph.Executor
+	prog   *graph.CompiledProgram // non-nil when Spec.Compiled
 	logits *graph.Node
 	batchX *tensor.Tensor
 	labels *tensor.Tensor
@@ -73,8 +79,19 @@ type Instance struct {
 func (in *Instance) ImageLen() int { return in.C * in.H * in.W }
 
 // ArenaStats snapshots the instance's executor arena counters, for the
-// server's aggregate arena.* occupancy gauges.
-func (in *Instance) ArenaStats() tensor.ArenaStats { return in.ex.Arena().Stats() }
+// server's aggregate arena.* occupancy gauges. A compiled instance
+// reports its kernel-scratch arena — activations live in the static
+// slab and never touch an arena.
+func (in *Instance) ArenaStats() tensor.ArenaStats {
+	if in.prog != nil {
+		return in.prog.Arena().Stats()
+	}
+	return in.ex.Arena().Stats()
+}
+
+// Compiled reports whether the instance serves through the compiled
+// static program.
+func (in *Instance) Compiled() bool { return in.prog != nil }
 
 // Load builds the instance described by spec: construct the graph,
 // initialize (or restore) the weights, flip to inference mode, and warm
@@ -122,11 +139,19 @@ func Load(spec Spec) (*Instance, error) {
 	m.Graph.SetTraining(false)
 	m.Graph.SetOutput(m.Logits)
 
-	ex, err := graph.NewExecutor(m.Graph, store)
+	var ex *graph.Executor
+	var prog *graph.CompiledProgram
+	if spec.Compiled {
+		prog, err = graph.Compile(m.Graph, store, graph.CompileOptions{})
+	} else {
+		ex, err = graph.NewExecutor(m.Graph, store)
+		if err == nil {
+			ex.UseArena(tensor.NewArena())
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: load %q: %w", spec.Name, err)
 	}
-	ex.UseArena(tensor.NewArena())
 
 	s := m.Input.Shape
 	inst := &Instance{
@@ -137,6 +162,7 @@ func Load(spec Spec) (*Instance, error) {
 		W:        s.W(),
 		MaxBatch: maxBatch,
 		ex:       ex,
+		prog:     prog,
 		logits:   m.Graph.Outputs[0],
 		batchX:   tensor.New(maxBatch, s.C(), s.H(), s.W()),
 		labels:   tensor.New(maxBatch),
@@ -175,7 +201,13 @@ func (in *Instance) Run(imgs [][]float32) ([][]float32, error) {
 			clear(dst)
 		}
 	}
-	outs, err := in.ex.Forward(in.feeds)
+	var outs []*tensor.Tensor
+	var err error
+	if in.prog != nil {
+		outs, err = in.prog.Forward(in.feeds)
+	} else {
+		outs, err = in.ex.Forward(in.feeds)
+	}
 	if err != nil {
 		return nil, err
 	}

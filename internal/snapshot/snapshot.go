@@ -238,6 +238,9 @@ func Load(r io.Reader, store *graph.ParamStore, bn map[string]*nn.BNState) error
 		if err := binary.Read(br, binary.LittleEndian, st.RunningVar); err != nil {
 			return err
 		}
+		// The statistics were mutated in place: drop any cached derived
+		// values (compiled programs precast the inference statistics).
+		st.Invalidate()
 	}
 	return nil
 }

@@ -204,10 +204,25 @@ func Conv2D(x, weight, bias *Tensor, p ConvParams) *Tensor {
 // product) and the output drawn from an arena, so repeated calls reuse
 // one warm working set.
 func Conv2DArena(a *Arena, x, weight, bias *Tensor, p ConvParams) *Tensor {
+	n, _, _, _, oh, ow := p.check(x)
+	out := a.GetRaw(n, weight.shape[0], oh, ow)
+	Conv2DInto(a, out, x, weight, bias, p)
+	return out
+}
+
+// Conv2DInto computes the convolution into a caller-supplied dst of
+// shape [N,Cout,OH,OW] — the entry point of the compiled executor,
+// whose static memory plan fixes every output's address ahead of time.
+// Scratch (the im2col matrix and the GEMM product) still cycles through
+// the arena. dst must not alias x.
+func Conv2DInto(a *Arena, dst, x, weight, bias *Tensor, p ConvParams) {
 	n, cin, _, _, oh, ow := p.check(x)
 	cout := weight.shape[0]
 	if !weight.shape.Equal(Shape{cout, cin, p.KH, p.KW}) {
 		panic(fmt.Sprintf("tensor.Conv2D: weight %v incompatible with input %v and %+v", weight.shape, x.shape, p))
+	}
+	if len(dst.data) != n*cout*oh*ow {
+		panic(fmt.Sprintf("tensor.Conv2DInto: dst %v, want %d elements", dst.shape, n*cout*oh*ow))
 	}
 	col := Im2ColArena(a, x, p)
 	prod := a.GetRaw(cout, n*oh*ow)
@@ -217,17 +232,15 @@ func Conv2DArena(a *Arena, x, weight, bias *Tensor, p ConvParams) *Tensor {
 	a.Put(col)
 	// prod is [Cout, N*OH*OW]; transpose the leading two logical dims
 	// into NCHW order and add bias.
-	out := a.GetRaw(n, cout, oh, ow)
 	hw := oh * ow
 	var bd []float32
 	if bias != nil {
 		bd = bias.data
 	}
 	parallelRange(n*cout, 1+parallelThreshold/hw, convNCHWArgs{
-		pd: prod.data, od: out.data, bd: bd, n: n, cout: cout, hw: hw,
+		pd: prod.data, od: dst.data, bd: bd, n: n, cout: cout, hw: hw,
 	}, convToNCHW)
 	a.Put(prod)
-	return out
 }
 
 type convNCHWArgs struct {

@@ -22,14 +22,30 @@ func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int32) {
 // boxing and recycle them like any other activation; -1 marks windows
 // that were entirely padding.
 func MaxPool2DArena(a *Arena, x *Tensor, p ConvParams) (out, arg *Tensor) {
-	n, c, h, w, oh, ow := p.check(x)
+	n, c, _, _, oh, ow := p.check(x)
 	out = a.GetRaw(n, c, oh, ow)
 	arg = a.GetRaw(n, c, oh, ow)
+	MaxPool2DInto(out, arg, x, p)
+	return out, arg
+}
+
+// MaxPool2DInto computes the max pooling into a caller-supplied out
+// (shape [N,C,OH,OW]). arg, when non-nil, receives the argmax indices
+// exactly as in MaxPool2DArena; the compiled forward-only path passes
+// nil and skips them.
+func MaxPool2DInto(out, arg, x *Tensor, p ConvParams) {
+	n, c, h, w, oh, ow := p.check(x)
+	if len(out.data) != n*c*oh*ow {
+		panic("tensor.MaxPool2DInto: out size mismatch")
+	}
+	var ad []float32
+	if arg != nil {
+		ad = arg.data
+	}
 	perPlane := oh * ow * p.KH * p.KW
 	parallelRange(n*c, 1+parallelThreshold/perPlane, maxPoolArgs{
-		od: out.data, ad: arg.data, xd: x.data, p: p, h: h, w: w, oh: oh, ow: ow,
+		od: out.data, ad: ad, xd: x.data, p: p, h: h, w: w, oh: oh, ow: ow,
 	}, maxPoolPlanes)
-	return out, arg
 }
 
 type maxPoolArgs struct {
@@ -44,7 +60,10 @@ func maxPoolPlanes(t maxPoolArgs, lo, hi int) {
 	for nc := lo; nc < hi; nc++ {
 		src := t.xd[nc*h*w : (nc+1)*h*w]
 		dst := t.od[nc*oh*ow : (nc+1)*oh*ow]
-		adst := t.ad[nc*oh*ow : (nc+1)*oh*ow]
+		var adst []float32
+		if t.ad != nil {
+			adst = t.ad[nc*oh*ow : (nc+1)*oh*ow]
+		}
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				best := float32(math.Inf(-1))
@@ -69,7 +88,9 @@ func maxPoolPlanes(t maxPoolArgs, lo, hi int) {
 					best = 0
 				}
 				dst[oy*ow+ox] = best
-				adst[oy*ow+ox] = float32(bi)
+				if adst != nil {
+					adst[oy*ow+ox] = float32(bi)
+				}
 			}
 		}
 	}
@@ -132,13 +153,24 @@ func AvgPool2D(x *Tensor, p ConvParams) *Tensor { return AvgPool2DArena(nil, x, 
 
 // AvgPool2DArena is AvgPool2D with the output drawn from an arena.
 func AvgPool2DArena(a *Arena, x *Tensor, p ConvParams) *Tensor {
-	n, c, h, w, oh, ow := p.check(x)
+	n, c, _, _, oh, ow := p.check(x)
 	out := a.GetRaw(n, c, oh, ow)
+	AvgPool2DInto(out, x, p)
+	return out
+}
+
+// AvgPool2DInto computes the average pooling into a caller-supplied
+// out of shape [N,C,OH,OW] (the compiled executor's fixed-offset entry
+// point).
+func AvgPool2DInto(out, x *Tensor, p ConvParams) {
+	n, c, h, w, oh, ow := p.check(x)
+	if len(out.data) != n*c*oh*ow {
+		panic("tensor.AvgPool2DInto: out size mismatch")
+	}
 	perPlane := oh * ow * p.KH * p.KW
 	parallelRange(n*c, 1+parallelThreshold/perPlane, avgPoolArgs{
 		od: out.data, xd: x.data, p: p, h: h, w: w, oh: oh, ow: ow,
 	}, avgPoolPlanes)
-	return out
 }
 
 type avgPoolArgs struct {

@@ -50,6 +50,24 @@ func FromSlice(data []float32, dims ...int) *Tensor {
 	return t
 }
 
+// Wrap returns a tensor viewing data in place — no copy, no arena
+// ownership. data must have exactly the shape's element count. It is
+// how the compiled executor maps planned slab offsets onto tensors:
+// each node's fixed window of the slab becomes a long-lived view that
+// kernels write into. Mutations through the view are visible to every
+// other view of the same storage (that aliasing is the point), so Wrap
+// is reserved for callers that plan lifetimes themselves.
+func Wrap(data []float32, dims ...int) *Tensor {
+	s := Shape(append([]int(nil), dims...))
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("tensor.Wrap: %v", err))
+	}
+	if s.Elems() != len(data) {
+		panic(fmt.Sprintf("tensor.Wrap: %d elements for shape %v (want %d)", len(data), s, s.Elems()))
+	}
+	return &Tensor{shape: s, data: data}
+}
+
 // Shape returns the tensor's shape. The returned slice must not be mutated.
 func (t *Tensor) Shape() Shape { return t.shape }
 

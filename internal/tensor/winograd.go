@@ -32,11 +32,25 @@ func Conv2DWinograd(x, weight, bias *Tensor, p ConvParams) *Tensor {
 // arena; the transformed-tile workspaces (U, V, M) come from the
 // kernel-internal scratch pool either way.
 func Conv2DWinogradArena(a *Arena, x, weight, bias *Tensor, p ConvParams) *Tensor {
+	n, _, _, _, oh, ow := p.check(x)
+	out := a.GetRaw(n, weight.shape[0], oh, ow)
+	Conv2DWinogradInto(out, x, weight, bias, p)
+	return out
+}
+
+// Conv2DWinogradInto computes the Winograd convolution into a
+// caller-supplied dst of shape [N,Cout,OH,OW] (the compiled executor's
+// fixed-offset entry point). The transformed-tile workspaces come from
+// the kernel-internal scratch pool. dst must not alias x.
+func Conv2DWinogradInto(dst, x, weight, bias *Tensor, p ConvParams) {
 	if !WinogradApplies(p) {
 		panic("tensor.Conv2DWinograd: geometry not supported")
 	}
 	n, cin, h, w, oh, ow := p.check(x)
 	cout := weight.shape[0]
+	if len(dst.data) != n*cout*oh*ow {
+		panic("tensor.Conv2DWinogradInto: dst size mismatch")
+	}
 
 	// Tile grid over the output: 2x2 tiles.
 	th := (oh + 1) / 2
@@ -89,17 +103,15 @@ func Conv2DWinogradArena(a *Arena, x, weight, bias *Tensor, p ConvParams) *Tenso
 	putScratch(v)
 
 	// Inverse transform: Y = Aᵀ M A per tile, scattered into the output.
-	out := a.GetRaw(n, cout, oh, ow)
 	var bd []float32
 	if bias != nil {
 		bd = bias.data
 	}
 	parallelRange(cout, 1+parallelThreshold/(16*tiles), winoOutputArgs{
-		m: m, od: out.data, bd: bd,
+		m: m, od: dst.data, bd: bd,
 		n: n, cout: cout, oh: oh, ow: ow, th: th, tw: tw, tiles: tiles,
 	}, winoOutputTransform)
 	putScratch(m)
-	return out
 }
 
 type winoInputArgs struct {

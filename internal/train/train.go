@@ -80,7 +80,12 @@ type Config struct {
 	// under a different execution scheme) removes that artifact.
 	// Defaults on when EvalUnsplit is set.
 	RecalibrateBN *bool
-	Seed          int64
+	// CompiledEval runs the per-epoch test evaluation through
+	// graph.Compile's static program (fused inference rewrites plus a
+	// fixed-offset memory plan) instead of the interpreted arena
+	// executor. Results are bit-identical either way.
+	CompiledEval bool
+	Seed         int64
 	// Progress, when non-nil, receives one line per epoch.
 	Progress func(epoch int, trainLoss, testErr float64)
 	// Recorder, when non-nil, receives one "compute"-stream span per
@@ -397,7 +402,11 @@ func Run(cfg Config, ds *data.Dataset) (*Result, error) {
 				return nil, err
 			}
 		}
-		testErr, err := Evaluate(evalGraph, evalModel, store, ds)
+		evaluate := Evaluate
+		if cfg.CompiledEval {
+			evaluate = EvaluateCompiled
+		}
+		testErr, err := evaluate(evalGraph, evalModel, store, ds)
 		if err != nil {
 			return nil, err
 		}
@@ -493,6 +502,63 @@ func Evaluate(g *graph.Graph, m *models.Model, store *graph.ParamStore, ds *data
 			return 0, fmt.Errorf("train: logits released before evaluation")
 		}
 		pred := tensor.ArgmaxRow(logits)
+		for i, p := range pred {
+			if p != int(labels.Data()[i]) {
+				wrong++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("train: empty test set")
+	}
+	return float64(wrong) / float64(total), nil
+}
+
+// EvaluateCompiled is Evaluate over graph.Compile's static program: the
+// eval graph is lowered once (inference rewrites + fixed-offset memory
+// plan) and every test batch replays it. Logits — and therefore the
+// reported error — are bit-identical to Evaluate's.
+func EvaluateCompiled(g *graph.Graph, m *models.Model, store *graph.ParamStore, ds *data.Dataset) (float64, error) {
+	batch := m.Input.Shape.N()
+	logitsName := m.Logits.Name
+	logitsNode := g.FindNode(logitsName)
+	if logitsNode == nil {
+		if logitsNode = g.FindNode(logitsName + ".join"); logitsNode == nil {
+			return 0, fmt.Errorf("train: logits node %q not found", logitsName)
+		}
+	}
+	// The compiled program copies out exactly the graph outputs; make
+	// sure the logits are one of them and remember which.
+	logitsIdx := -1
+	for i, o := range g.Outputs {
+		if o == logitsNode {
+			logitsIdx = i
+		}
+	}
+	if logitsIdx < 0 {
+		g.SetOutput(append(g.Outputs, logitsNode)...)
+		logitsIdx = len(g.Outputs) - 1
+	}
+	prog, err := graph.Compile(g, store, graph.CompileOptions{})
+	if err != nil {
+		return 0, err
+	}
+	x := tensor.New(batch, ds.Cfg.C, ds.Cfg.H, ds.Cfg.W)
+	labels := tensor.New(batch)
+	feeds := graph.Feeds{"image": x, "labels": labels}
+	idx := make([]int, batch)
+	wrong, total := 0, 0
+	for off := 0; off+batch <= ds.Cfg.TestN; off += batch {
+		for i := range idx {
+			idx[i] = off + i
+		}
+		ds.BatchInto(x, labels, false, idx)
+		outs, err := prog.Forward(feeds)
+		if err != nil {
+			return 0, err
+		}
+		pred := tensor.ArgmaxRow(outs[logitsIdx])
 		for i, p := range pred {
 			if p != int(labels.Data()[i]) {
 				wrong++

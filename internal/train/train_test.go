@@ -178,3 +178,33 @@ func TestTrainDeterminism(t *testing.T) {
 			r1.TrainLoss[0], r1.TestErr[0], r2.TrainLoss[0], r2.TestErr[0])
 	}
 }
+
+// TestTrainCompiledEvalMatches: since training is deterministic and the
+// compiled program is bit-identical to the interpreted executor, a run
+// whose per-epoch validation goes through Config.CompiledEval must
+// report exactly the same curves — on the plain baseline and through a
+// split evaluation graph (whose patch-extract/concat ops take the
+// compiler's fallback path).
+func TestTrainCompiledEvalMatches(t *testing.T) {
+	ds := tinyDataset(t)
+	for _, split := range []bool{false, true} {
+		cfg := baseCfg()
+		cfg.Epochs = 1
+		if split {
+			cfg.Split = core.Config{Depth: 0.5, NH: 2, NW: 2}
+		}
+		ref, err := train.Run(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.CompiledEval = true
+		got, err := train.Run(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.TrainLoss[0] != got.TrainLoss[0] || ref.TestErr[0] != got.TestErr[0] {
+			t.Fatalf("split=%v: compiled eval diverged: %v/%v vs %v/%v",
+				split, got.TrainLoss[0], got.TestErr[0], ref.TrainLoss[0], ref.TestErr[0])
+		}
+	}
+}
