@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve train-smoke compile-smoke
+.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve train-smoke compile-smoke tune-smoke
 
 # Kernel micro-benchmarks: the CPU execution engine's hot paths
 # (blocked GEMM, im2col, convolution, full arena-backed train step —
 # with and without step telemetry).
-KERNEL_BENCH = MatMul$$|Im2Col$$|TrainStep$$|TrainStepSteplog$$|Conv2DForward$$|GemmSquare|ConvIm2Col3x3$$|ConvWinograd3x3$$|InterpretedForward$$|CompiledForward$$
+KERNEL_BENCH = MatMul$$|Im2Col$$|TrainStep$$|TrainStepSteplog$$|Conv2DForward$$|GemmSquare|ConvIm2Col3x3$$|ConvWinograd3x3$$|InterpretedForward$$|CompiledForward$$|Conv2DFFT$$|AutotunedConv$$
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ fmt:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: vet fmt build race bench-smoke serve-smoke compile-smoke report-smoke train-smoke
+ci: vet fmt build race bench-smoke serve-smoke compile-smoke report-smoke train-smoke tune-smoke
 
 # bench-kernels measures the kernel micro-benchmarks and appends the
 # run to BENCH_kernels.json (the committed perf trajectory). Label the
@@ -85,6 +85,19 @@ train-smoke:
 		-guards -flight /tmp/splitcnn-flight.json
 	$(GO) run ./cmd/splitcnn report -train /tmp/splitcnn-steplog.jsonl \
 		-o /tmp/splitcnn-train.html
+
+# tune-smoke runs the convolution autotuner end to end on a small
+# bundled architecture: measure every backend per layer shape, persist
+# the plan cache, reload it, and verify every plan survives the round
+# trip (the subcommand exits non-zero if any step fails). A second run
+# against the same cache must be all cache hits, which it checks by
+# grepping the summary line.
+tune-smoke:
+	$(GO) run ./cmd/splitcnn tune -arch alexnet -inh 64 -inw 64 -batch 4 \
+		-trials 1 -tunecache /tmp/splitcnn-autotune.json
+	$(GO) run ./cmd/splitcnn tune -arch alexnet -inh 64 -inw 64 -batch 4 \
+		-trials 1 -tunecache /tmp/splitcnn-autotune.json \
+		| grep "5 cache hits" > /dev/null
 
 # report-smoke renders the HTML/SVG memory timeline for a split VGG-19
 # HMMS plan; the subcommand itself verifies the plotted device

@@ -6,8 +6,9 @@
 //	    fig8 fig9 fig10 fig11 table1)
 //	splitcnn profile   -arch vgg19 -batch 64
 //	    print the Figure 1-style layer profile of a model
-//	splitcnn plan      -arch vgg19 -batch 64 -method hmms [-split]
-//	    run the HMMS pipeline and report throughput and memory pools
+//	splitcnn plan      -arch vgg19 -batch 64 -method hmms [-split] [-tuned]
+//	    run the HMMS pipeline and report throughput and memory pools;
+//	    -tuned plans with autotuned (measured) convolution times
 //	splitcnn transform -arch vgg19 -depth 0.5 -nh 2 -nw 2
 //	    show what the Split-CNN graph transformation does to a model
 //	splitcnn train     -arch vgg19 -epochs 6 [-depth 0.5 -splits 4
@@ -28,6 +29,10 @@
 //	splitcnn compile   -arch vgg19 [-plan] [-o plan.html]
 //	    lower a model through graph.Compile (inference fusion + static
 //	    memory plan) and dump the plan; verifies plotted peak == slab
+//	splitcnn tune      -arch alexnet -batch 8 [-split] [-tunecache f]
+//	    micro-benchmark every convolution backend (im2col, Winograd,
+//	    direct, FFT) per layer shape, print the algorithm table with
+//	    measured GFLOP/s, and persist the winning plans
 //	splitcnn serve     -addr :8080 -arch vgg19 -snapshot w.snap [-compiled]
 //	    HTTP inference server with dynamic micro-batching
 //	splitcnn loadtest  -spawn -c 16 -n 512
@@ -44,6 +49,7 @@ import (
 
 	"splitcnn/internal/modelfile"
 
+	"splitcnn/internal/autotune"
 	"splitcnn/internal/buildinfo"
 	"splitcnn/internal/core"
 	"splitcnn/internal/costmodel"
@@ -81,6 +87,8 @@ func main() {
 		err = cmdMaxBatch(os.Args[2:])
 	case "compile":
 		err = cmdCompile(os.Args[2:])
+	case "tune":
+		err = cmdTune(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "loadtest":
@@ -123,6 +131,10 @@ subcommands:
                     rewrite stats + static memory plan (-plan for the
                     per-node table, -o for the HTML slab timeline);
                     self-verifies plotted peak == mapped slab
+  tune              micro-benchmark the convolution backends (im2col,
+                    Winograd, direct, FFT) on every distinct layer shape
+                    and persist the winning per-shape plans
+                    (-tunecache for the cache file, "off" to disable)
   serve             HTTP inference server with dynamic micro-batching
                     over the arena executor (-smoke for a CI self-test,
                     -compiled to serve the compiled static program)
@@ -237,6 +249,7 @@ func cmdPlan(args []string) error {
 	depth := fs.Float64("depth", 0.75, "splitting depth (with -split)")
 	nh := fs.Int("nh", 2, "patch rows (with -split)")
 	nw := fs.Int("nw", 2, "patch cols (with -split)")
+	tuned := fs.Bool("tuned", false, "autotune the conv layers first and plan with their measured times instead of the roofline model")
 	dev := deviceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -270,8 +283,25 @@ func cmdPlan(args []string) error {
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
-	res, prog, mem, err := sim.PlanAndRun(g, d, mm, -1)
-	if err != nil {
+	var res *sim.Result
+	var prog *hmms.Program
+	var mem *hmms.MemoryPlan
+	if *tuned {
+		// Measure each distinct conv shape once (one timed trial is
+		// enough to rank backends) and feed the winners' times into the
+		// planner through the measured-override timer.
+		autotune.Default.Trials = 1
+		n := len(autotune.Default.TuneGraph(g))
+		fmt.Printf("autotuned %d conv sites; planning with measured conv times\n", n)
+		tp, plan, tm, terr := sim.PlanTimed(g, d, hmms.MeasuredTimer(d, autotune.Default.Overrides), mm, -1)
+		if terr != nil {
+			return terr
+		}
+		prog, mem = tp, tm
+		if res, terr = sim.Run(tp, plan, tm); terr != nil {
+			return terr
+		}
+	} else if res, prog, mem, err = sim.PlanAndRun(g, d, mm, -1); err != nil {
 		return err
 	}
 	fmt.Printf("method:            %s\n", res.Method)
@@ -418,6 +448,8 @@ func cmdTrain(args []string) error {
 	flight := fs.String("flight", "", "write the flight-recorder dump (recent steps + op spans) here when a guard trips")
 	calibrate := fs.Bool("calibrate", false, "after the run, report measured-vs-predicted per-op drift against the -device cost model")
 	compiledEval := fs.Bool("compiledeval", false, "run per-epoch validation through the compiled static program (bit-identical results)")
+	tune := fs.Bool("tune", false, "autotune the convolution backends on the run's shapes before the first step")
+	tuneCache := fs.String("tunecache", "", `autotune plan cache file (with -tune; "" = ~/.cache/splitcnn/autotune.json, "off" = no persistence)`)
 	dev := deviceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -454,6 +486,7 @@ func cmdTrain(args []string) error {
 		Split:         core.Config{Depth: *depth, NH: grid[0], NW: grid[1], Stochastic: *stochastic, Omega: 0.2},
 		EvalUnsplit:   *stochastic,
 		CompiledEval:  *compiledEval,
+		Tune:          *tune,
 		Seed:          *seed,
 		SavePath:      *savePath,
 		LoadPath:      *loadPath,
@@ -467,6 +500,13 @@ func cmdTrain(args []string) error {
 	cfg.Metrics = met
 	if *guards || *flight != "" {
 		cfg.Guard = train.GuardConfig{Enabled: true, MaxGradNorm: *maxGrad, FlightPath: *flight}
+	}
+	if *tune {
+		path, err := tuneCachePath(*tuneCache)
+		if err != nil {
+			return err
+		}
+		cfg.TuneCache = path
 	}
 	if *calibrate {
 		d, err := pickDevice(*dev)

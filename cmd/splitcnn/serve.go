@@ -36,6 +36,8 @@ type specFlags struct {
 	snapshot *string
 	maxBatch *int
 	compiled *bool
+	tune     *bool
+	tuneCach *string
 }
 
 func addSpecFlags(fs *flag.FlagSet) *specFlags {
@@ -50,14 +52,24 @@ func addSpecFlags(fs *flag.FlagSet) *specFlags {
 		snapshot: fs.String("snapshot", "", "weight snapshot to restore (from `splitcnn train -save`)"),
 		maxBatch: fs.Int("maxbatch", 8, "executor batch size = batching cap"),
 		compiled: fs.Bool("compiled", false, "serve through the compiled static program (fused ops + fixed-offset memory plan); logits are bit-identical"),
+		tune:     fs.Bool("tune", false, "autotune the convolution backends at load (see `splitcnn tune`)"),
+		tuneCach: fs.String("tunecache", "", `autotune plan cache file (with -tune; "" = ~/.cache/splitcnn/autotune.json, "off" = no persistence)`),
 	}
 }
 
-func (sf *specFlags) spec() serve.Spec {
+func (sf *specFlags) spec() (serve.Spec, error) {
 	s := serve.Spec{
 		Snapshot: *sf.snapshot,
 		MaxBatch: *sf.maxBatch,
 		Compiled: *sf.compiled,
+		Tune:     *sf.tune,
+	}
+	if s.Tune {
+		path, err := tuneCachePath(*sf.tuneCach)
+		if err != nil {
+			return serve.Spec{}, err
+		}
+		s.TuneCache = path
 	}
 	if *sf.model != "" {
 		s.ModelFile = *sf.model
@@ -71,7 +83,7 @@ func (sf *specFlags) spec() serve.Spec {
 			WidthDiv: *sf.widthDiv, BatchNorm: true,
 		}
 	}
-	return s
+	return s, nil
 }
 
 func cmdServe(args []string) error {
@@ -98,7 +110,11 @@ func cmdServe(args []string) error {
 		}
 		*runtimeEvery = 50 * time.Millisecond
 	}
-	reg, err := serve.NewRegistry(sf.spec())
+	spec, err := sf.spec()
+	if err != nil {
+		return err
+	}
+	reg, err := serve.NewRegistry(spec)
 	if err != nil {
 		return err
 	}
@@ -280,7 +296,11 @@ func cmdLoadtest(args []string) error {
 	}
 	target := *addr
 	if *spawn {
-		reg, err := serve.NewRegistry(sf.spec())
+		spec, err := sf.spec()
+		if err != nil {
+			return err
+		}
+		reg, err := serve.NewRegistry(spec)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"splitcnn/internal/autotune"
+	"splitcnn/internal/core"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/modelfile"
+	"splitcnn/internal/models"
+)
+
+// cmdTune runs the convolution autotuner over a model's distinct conv
+// sites and prints the per-layer algorithm table: every measured
+// backend's GFLOP/s, the winner, and its speedup over the untuned
+// heuristic. The plan cache is loaded first (cached sites skip
+// re-measurement), saved after, and verified by a reload.
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	model := fs.String("model", "", "model description file (overrides -arch)")
+	arch := fs.String("arch", "vgg19", "built-in architecture")
+	widthDiv := fs.Int("widthdiv", 16, "channel width divisor (with -arch)")
+	classes := fs.Int("classes", 10, "classifier width (with -arch)")
+	inC := fs.Int("inc", 3, "input channels (with -arch)")
+	inH := fs.Int("inh", 32, "input height (with -arch)")
+	inW := fs.Int("inw", 32, "input width (with -arch)")
+	batch := fs.Int("batch", 8, "batch size (part of the plan key)")
+	doSplit := fs.Bool("split", false, "apply the Split-CNN transformation first (tunes the per-patch shapes)")
+	depth := fs.Float64("depth", 0.75, "splitting depth (with -split)")
+	nh := fs.Int("nh", 2, "patch rows (with -split)")
+	nw := fs.Int("nw", 2, "patch cols (with -split)")
+	trials := fs.Int("trials", 3, "timed repetitions per candidate (the minimum is kept)")
+	cache := fs.String("tunecache", "", `plan cache file ("" = ~/.cache/splitcnn/autotune.json, "off" = no persistence)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	var name string
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		m, err := modelfile.Parse(f, *batch)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		g, name = m.Graph, m.Name
+	} else {
+		m, err := models.Build(*arch, models.Config{
+			BatchSize: *batch, Classes: *classes,
+			InputC: *inC, InputH: *inH, InputW: *inW,
+			WidthDiv: *widthDiv, BatchNorm: true,
+		})
+		if err != nil {
+			return err
+		}
+		g, name = m.Graph, m.Name
+	}
+	if *doSplit {
+		sr, err := core.Split(g, core.Config{Depth: *depth, NH: *nh, NW: *nw})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("split %d/%d convolution layers into %dx%d patches\n",
+			sr.SplitConvs, sr.TotalConvs, *nh, *nw)
+		g = sr.Graph
+	}
+
+	path, err := tuneCachePath(*cache)
+	if err != nil {
+		return err
+	}
+	t := autotune.Default
+	t.Trials = *trials
+	if path != "" {
+		if err := t.Load(path); err != nil {
+			return err
+		}
+	}
+
+	results := t.TuneGraph(g)
+	if len(results) == 0 {
+		return fmt.Errorf("tune: %s has no convolution layers", name)
+	}
+	printTuneTable(results)
+
+	nonDefault, cached := 0, 0
+	for _, r := range results {
+		if r.Decision.Algo != autotune.DefaultAlgo(r.Site.Params) {
+			nonDefault++
+		}
+		if r.Cached {
+			cached++
+		}
+	}
+	fmt.Printf("\n%s (env %s): %d distinct conv sites, %d cache hits, %d won by a non-default backend\n",
+		name, autotune.Env(), len(results), cached, nonDefault)
+
+	if path != "" {
+		if err := t.Save(); err != nil {
+			return err
+		}
+		// Reload through a fresh tuner: every plan just written must come
+		// back with the same winning algorithm.
+		check := autotune.New()
+		if err := check.Load(path); err != nil {
+			return err
+		}
+		for _, r := range results {
+			a, ok := check.Plan(r.Site.Params, r.Site.In, r.Site.Cout)
+			if !ok || a != r.Decision.Algo {
+				return fmt.Errorf("tune: cache verify: site %s reloaded as %v/%v, want %v",
+					r.Site.Name, a, ok, r.Decision.Algo)
+			}
+		}
+		fmt.Printf("cache: %s (%d plans, reload verified)\n", path, check.Len())
+	}
+	return nil
+}
+
+// tuneCachePath resolves the -tunecache flag: "" means the per-user
+// default location, "off" disables persistence.
+func tuneCachePath(flagValue string) (string, error) {
+	switch flagValue {
+	case "off":
+		return "", nil
+	case "":
+		return autotune.DefaultCachePath()
+	}
+	return flagValue, nil
+}
+
+// tuneFLOPs counts a conv site's forward multiply-adds (x2), the
+// numerator of the table's GFLOP/s columns.
+func tuneFLOPs(s autotune.Site) float64 {
+	oh, ow := s.Params.OutSize(s.In.H(), s.In.W())
+	return 2 * float64(s.In.N()) * float64(s.Cout) * float64(oh) * float64(ow) *
+		float64(s.In.C()) * float64(s.Params.KH) * float64(s.Params.KW)
+}
+
+func printTuneTable(results []autotune.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "layer\tinput\tkernel\t")
+	for a := autotune.Algo(0); a < autotune.NumAlgos; a++ {
+		fmt.Fprintf(w, "%s\t", a)
+	}
+	fmt.Fprintln(w, "winner\tvs default")
+	for _, r := range results {
+		s := r.Site
+		fmt.Fprintf(w, "%s\t%dx%dx%dx%d\t%dx%ds%d\t",
+			s.Name, s.In.N(), s.In.C(), s.In.H(), s.In.W(),
+			s.Params.KH, s.Params.KW, s.Params.SH)
+		flops := tuneFLOPs(s)
+		for a := autotune.Algo(0); a < autotune.NumAlgos; a++ {
+			if secs, ok := r.Decision.Seconds[a]; ok && secs > 0 {
+				fmt.Fprintf(w, "%.1f\t", flops/secs/1e9)
+			} else {
+				fmt.Fprint(w, "-\t")
+			}
+		}
+		def := autotune.DefaultAlgo(s.Params)
+		speed := ""
+		if ds, ok := r.Decision.Seconds[def]; ok && ds > 0 {
+			if ws := r.Decision.Seconds[r.Decision.Algo]; ws > 0 {
+				speed = fmt.Sprintf("%.2fx", ds/ws)
+			}
+		}
+		mark := ""
+		if r.Decision.Algo != def {
+			mark = " *"
+		}
+		if r.Cached {
+			mark += " (cached)"
+		}
+		fmt.Fprintf(w, "%s%s\t%s\n", r.Decision.Algo, mark, speed)
+	}
+	w.Flush()
+}

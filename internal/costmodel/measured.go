@@ -1,0 +1,81 @@
+package costmodel
+
+// Measured per-op cost overrides: the autotuner's feedback channel into
+// the planner. The paper's §4.3 profiling stage measures each layer
+// with high_resolution_clock; this is the same idea keyed by workload
+// signature, so a time measured once (at tune or warmup) replaces the
+// roofline guess everywhere the planner, simulator, or report pages
+// consume op times — the loop the PR-5 drift gauges were built to close.
+
+import (
+	"sync"
+
+	"splitcnn/internal/tensor"
+)
+
+// ConvSignature identifies a convolution workload precisely enough that
+// a measured time (or a tuned algorithm choice) transfers: the full
+// window geometry plus the concrete input shape and output channel
+// count. Batch size is part of the signature via N. It is a comparable
+// struct, so it serves directly as a map key — the autotuner uses it as
+// its plan key too.
+type ConvSignature struct {
+	KH, KW, SH, SW         int
+	PadT, PadB, PadL, PadR int
+	N, C, H, W             int
+	Cout                   int
+}
+
+// SignatureOf builds the signature of one convolution call site.
+func SignatureOf(p tensor.ConvParams, x tensor.Shape, cout int) ConvSignature {
+	return ConvSignature{
+		KH: p.KH, KW: p.KW, SH: p.SH, SW: p.SW,
+		PadT: p.Pad.Top, PadB: p.Pad.Bottom, PadL: p.Pad.Left, PadR: p.Pad.Right,
+		N: x.N(), C: x.C(), H: x.H(), W: x.W(),
+		Cout: cout,
+	}
+}
+
+// MeasuredOverride is a concurrency-safe registry of measured forward
+// times by workload signature. A nil *MeasuredOverride is valid and
+// empty.
+type MeasuredOverride struct {
+	mu  sync.RWMutex
+	fwd map[ConvSignature]float64
+}
+
+// NewMeasuredOverride returns an empty registry.
+func NewMeasuredOverride() *MeasuredOverride {
+	return &MeasuredOverride{fwd: make(map[ConvSignature]float64)}
+}
+
+// Set records a measured forward time (seconds) for sig.
+func (o *MeasuredOverride) Set(sig ConvSignature, seconds float64) {
+	if o == nil || seconds <= 0 {
+		return
+	}
+	o.mu.Lock()
+	o.fwd[sig] = seconds
+	o.mu.Unlock()
+}
+
+// Get returns the measured forward time for sig, if any.
+func (o *MeasuredOverride) Get(sig ConvSignature) (float64, bool) {
+	if o == nil {
+		return 0, false
+	}
+	o.mu.RLock()
+	s, ok := o.fwd[sig]
+	o.mu.RUnlock()
+	return s, ok
+}
+
+// Len returns the number of recorded signatures.
+func (o *MeasuredOverride) Len() int {
+	if o == nil {
+		return 0
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.fwd)
+}

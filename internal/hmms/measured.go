@@ -1,0 +1,36 @@
+package hmms
+
+import (
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/graph"
+	"splitcnn/internal/tensor"
+)
+
+// MeasuredTimer wraps the cost-model timer with the autotuner's
+// measured forward times: a convolution whose workload signature has a
+// recorded measurement uses it verbatim, and its backward estimate is
+// scaled by the roofline's own bwd/fwd ratio (the measurement covers
+// forward only; the ratio is the model's best knowledge of the
+// backward/forward relationship for that geometry). Everything else
+// falls through to the roofline. This is §4.3's profiled timings
+// replacing the analytical stand-in wherever a measurement exists —
+// the same programs, offload plans and reports, now over real numbers.
+func MeasuredTimer(dev costmodel.DeviceSpec, ov *costmodel.MeasuredOverride) Timer {
+	base := CostModelTimer(dev)
+	return func(n *graph.Node, in []tensor.Shape) (float64, float64) {
+		fwd, bwd := base(n, in)
+		if ov.Len() == 0 || n.Op.Kind() != "conv" || len(in) == 0 || len(n.Shape) != 4 {
+			return fwd, bwd
+		}
+		c, ok := n.Op.(interface{ Window() tensor.ConvParams })
+		if !ok {
+			return fwd, bwd
+		}
+		sig := costmodel.SignatureOf(c.Window(), in[0], n.Shape.C())
+		m, ok := ov.Get(sig)
+		if !ok || m <= 0 || fwd <= 0 {
+			return fwd, bwd
+		}
+		return m, m * (bwd / fwd)
+	}
+}

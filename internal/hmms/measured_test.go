@@ -1,0 +1,81 @@
+package hmms_test
+
+import (
+	"math"
+	"testing"
+
+	"splitcnn/internal/costmodel"
+	"splitcnn/internal/hmms"
+	"splitcnn/internal/tensor"
+)
+
+func TestMeasuredTimerOverridesConvTimes(t *testing.T) {
+	g := tinyGraph()
+	dev := costmodel.P100()
+	base, err := hmms.BuildProgram(g, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Measure c1: input (4,3,8,8), 3x3 s1 p1, cout 8.
+	p := tensor.ConvParams{KH: 3, KW: 3, SH: 1, SW: 1, Pad: tensor.Symmetric(1)}
+	sig := costmodel.SignatureOf(p, tensor.Shape{4, 3, 8, 8}, 8)
+	const measured = 0.125
+	ov := costmodel.NewMeasuredOverride()
+	ov.Set(sig, measured)
+
+	prog, err := hmms.BuildProgramTimed(g, dev, hmms.MeasuredTimer(dev, ov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for i, op := range prog.Ops {
+		if op.Kind != "conv" {
+			// Non-conv ops keep their roofline times untouched.
+			if op.Time != base.Ops[i].Time {
+				t.Fatalf("op %s time changed: %v vs %v", op.Name, op.Time, base.Ops[i].Time)
+			}
+			continue
+		}
+		if op.Phase == hmms.Forward {
+			found = true
+			if op.Time != measured {
+				t.Fatalf("conv fwd time %v, want measured %v", op.Time, measured)
+			}
+		} else {
+			// Backward scales by the roofline's own bwd/fwd ratio.
+			bi := base.Ops[i]
+			var bf float64
+			for _, b := range base.ForwardOps() {
+				if b.NodeID == op.NodeID {
+					bf = b.Time
+				}
+			}
+			want := measured * (bi.Time / bf)
+			if math.Abs(op.Time-want) > 1e-12 {
+				t.Fatalf("conv bwd time %v, want %v", op.Time, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no conv forward op in program")
+	}
+}
+
+func TestMeasuredTimerEmptyOverrideIsCostModel(t *testing.T) {
+	g := tinyGraph()
+	dev := costmodel.P100()
+	base, err := hmms.BuildProgram(g, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := hmms.BuildProgramTimed(g, dev, hmms.MeasuredTimer(dev, costmodel.NewMeasuredOverride()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog.Ops {
+		if prog.Ops[i].Time != base.Ops[i].Time {
+			t.Fatalf("op %s: empty override changed time", prog.Ops[i].Name)
+		}
+	}
+}

@@ -19,22 +19,33 @@ import (
 	"fmt"
 	"math"
 
+	"splitcnn/internal/autotune"
 	"splitcnn/internal/tensor"
 )
 
 // ---- Conv ----
 
-// ForwardInto implements graph.ForwardIntoOp.
+// ForwardInto implements graph.ForwardIntoOp. It consults the same
+// autotuned dispatch as Forward/ForwardArena, so the interpreted and
+// compiled paths always run the same backend for a given shape and
+// stay bit-identical to each other; every backend's Into entry takes
+// scratch from the pool or arena only, keeping the warmed compiled
+// forward allocation-free.
 func (c *Conv) ForwardInto(a *tensor.Arena, dst *tensor.Tensor, in []*tensor.Tensor) {
 	var bias *tensor.Tensor
 	if c.HasBias {
 		bias = in[2]
 	}
-	if tensor.WinogradApplies(c.Params) {
+	switch c.algo(in[0], in[1]) {
+	case autotune.Winograd:
 		tensor.Conv2DWinogradInto(dst, in[0], in[1], bias, c.Params)
-		return
+	case autotune.Direct:
+		tensor.Conv2DDirectInto(dst, in[0], in[1], bias, c.Params)
+	case autotune.FFT:
+		tensor.Conv2DFFTInto(dst, in[0], in[1], bias, c.Params)
+	default:
+		tensor.Conv2DInto(a, dst, in[0], in[1], bias, c.Params)
 	}
-	tensor.Conv2DInto(a, dst, in[0], in[1], bias, c.Params)
 }
 
 // ---- ReLU ----

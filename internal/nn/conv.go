@@ -15,6 +15,7 @@ package nn
 import (
 	"fmt"
 
+	"splitcnn/internal/autotune"
 	"splitcnn/internal/graph"
 	"splitcnn/internal/tensor"
 )
@@ -74,18 +75,33 @@ func (c *Conv) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 	return tensor.Shape{x.N(), w[0], oh, ow}, nil
 }
 
-// Forward implements graph.Op. 3x3 stride-1 convolutions take the
-// Winograd F(2x2, 3x3) fast path — the very algorithm whose adoption
-// §2.2.1 blames for making layers memory-bound.
+// algo consults the process-wide autotuner for the algorithm to run on
+// this call's shapes. With no tuned plan this is exactly the historic
+// heuristic (Winograd when it applies, else im2col), so every untuned
+// path — and every bit-identity test — behaves as before.
+func (c *Conv) algo(x, weight *tensor.Tensor) autotune.Algo {
+	return autotune.Default.Choose(c.Params, x.Shape(), weight.Shape()[0])
+}
+
+// Forward implements graph.Op. The backend is chosen per shape by the
+// autotuner; the untuned default is the Winograd F(2x2, 3x3) fast path
+// for 3x3 stride-1 convolutions — the very algorithm whose adoption
+// §2.2.1 blames for making layers memory-bound — and im2col otherwise.
 func (c *Conv) Forward(in []*tensor.Tensor) (*tensor.Tensor, any) {
 	var bias *tensor.Tensor
 	if c.HasBias {
 		bias = in[2]
 	}
-	if tensor.WinogradApplies(c.Params) {
+	switch c.algo(in[0], in[1]) {
+	case autotune.Winograd:
 		return tensor.Conv2DWinograd(in[0], in[1], bias, c.Params), nil
+	case autotune.Direct:
+		return tensor.Conv2DDirect(in[0], in[1], bias, c.Params), nil
+	case autotune.FFT:
+		return tensor.Conv2DFFT(in[0], in[1], bias, c.Params), nil
+	default:
+		return tensor.Conv2D(in[0], in[1], bias, c.Params), nil
 	}
-	return tensor.Conv2D(in[0], in[1], bias, c.Params), nil
 }
 
 // ForwardArena implements graph.ArenaForwardOp.
@@ -94,10 +110,16 @@ func (c *Conv) ForwardArena(a *tensor.Arena, in []*tensor.Tensor) (*tensor.Tenso
 	if c.HasBias {
 		bias = in[2]
 	}
-	if tensor.WinogradApplies(c.Params) {
+	switch c.algo(in[0], in[1]) {
+	case autotune.Winograd:
 		return tensor.Conv2DWinogradArena(a, in[0], in[1], bias, c.Params), nil
+	case autotune.Direct:
+		return tensor.Conv2DDirectArena(a, in[0], in[1], bias, c.Params), nil
+	case autotune.FFT:
+		return tensor.Conv2DFFTArena(a, in[0], in[1], bias, c.Params), nil
+	default:
+		return tensor.Conv2DArena(a, in[0], in[1], bias, c.Params), nil
 	}
-	return tensor.Conv2DArena(a, in[0], in[1], bias, c.Params), nil
 }
 
 // Backward implements graph.Op.
@@ -151,13 +173,25 @@ const MaxConvWorkspaceBytes = 1 << 30
 
 // WorkspaceBytes implements graph.Op: the convolution scratch buffer,
 // this repository's analogue of the cuDNN workspace whose reuse across
-// patches is one of the two memory wins of §6.3. The full im2col
-// lowering is capped at twice the input+output footprint (the bounded
-// workspaces of cuDNN's implicit-GEMM/Winograd algorithms) and at the
-// framework workspace limit, while preserving the property that matters
-// to Split-CNN: workspace scales with the layer and shrinks per patch.
+// patches is one of the two memory wins of §6.3. With a tuned plan the
+// declared workspace follows the algorithm that will actually run
+// (Winograd's transformed tiles, the FFT spectra, zero for the direct
+// loop); untuned sites keep the historic estimate — the full im2col
+// lowering capped at twice the input+output footprint and at the
+// framework workspace limit — preserving the property that matters to
+// Split-CNN: workspace scales with the layer and shrinks per patch.
 func (c *Conv) WorkspaceBytes(in []tensor.Shape, out tensor.Shape) int64 {
 	x := in[0]
+	if algo, ok := autotune.Default.Plan(c.Params, x, out.C()); ok {
+		switch algo {
+		case autotune.Winograd:
+			return min(tensor.WinogradWorkspaceBytes(x, out.C(), c.Params), MaxConvWorkspaceBytes)
+		case autotune.FFT:
+			return min(tensor.FFTConvWorkspaceBytes(x, out.C(), c.Params), MaxConvWorkspaceBytes)
+		case autotune.Direct:
+			return 0
+		}
+	}
 	oh, ow := out.H(), out.W()
 	im2col := int64(x.C()*c.Params.KH*c.Params.KW) * int64(x.N()*oh*ow) * 4
 	return min(im2col, 2*(x.Bytes()+out.Bytes()), MaxConvWorkspaceBytes)

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"splitcnn/internal/autotune"
 	"splitcnn/internal/graph"
 	"splitcnn/internal/modelfile"
 	"splitcnn/internal/models"
@@ -54,6 +55,17 @@ type Spec struct {
 	// conv+bias+ReLU passes, elided dropout) plus a fixed-offset memory
 	// plan in one pre-sized slab. Logits are bit-identical either way.
 	Compiled bool
+	// Tune runs the convolution autotuner over the model's conv sites
+	// before the executor is built, so every serving forward dispatches
+	// to the measured-fastest backend per shape and the (compiled)
+	// memory plan is sized for the algorithms that actually run.
+	// Concurrent loads of the same geometry share one measurement
+	// (the tuner singleflights per shape).
+	Tune bool
+	// TuneCache, with Tune, loads previously persisted plans from this
+	// file first (cached shapes skip re-measurement) and saves any newly
+	// measured plans back. Empty means tune in memory only.
+	TuneCache string
 }
 
 // Instance is one servable model: an inference-mode graph at the
@@ -138,6 +150,23 @@ func Load(spec Spec) (*Instance, error) {
 	// fed zeros; its cost is negligible next to the convolutions.
 	m.Graph.SetTraining(false)
 	m.Graph.SetOutput(m.Logits)
+
+	// Autotune before the executor/compile step: graph.Compile sizes
+	// each conv's workspace from the plan that will actually dispatch,
+	// and the warmup forward below then runs the tuned kernels.
+	if spec.Tune {
+		if spec.TuneCache != "" {
+			if err := autotune.Default.Load(spec.TuneCache); err != nil {
+				return nil, fmt.Errorf("serve: load %q: tune cache: %w", spec.Name, err)
+			}
+		}
+		autotune.Default.TuneGraph(m.Graph)
+		if spec.TuneCache != "" {
+			if err := autotune.Default.Save(); err != nil {
+				return nil, fmt.Errorf("serve: load %q: tune cache: %w", spec.Name, err)
+			}
+		}
+	}
 
 	var ex *graph.Executor
 	var prog *graph.CompiledProgram

@@ -1,0 +1,14 @@
+package tensor
+
+import "runtime"
+
+// CPUFeatures identifies the kernel variant selected at runtime. It is
+// part of the autotune cache key: a conv plan micro-benchmarked with
+// the AVX2+FMA GEMM micro-kernel must not be replayed on a machine
+// (or build) running the portable kernels, and vice versa.
+func CPUFeatures() string {
+	if useAsmKernel {
+		return runtime.GOARCH + "+avx2fma"
+	}
+	return runtime.GOARCH + "+portable"
+}
