@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve train-smoke compile-smoke tune-smoke
+.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve bench-dist train-smoke compile-smoke tune-smoke dist-smoke
 
 # Kernel micro-benchmarks: the CPU execution engine's hot paths
 # (blocked GEMM, im2col, convolution, full arena-backed train step —
@@ -29,7 +29,7 @@ fmt:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: vet fmt build race bench-smoke serve-smoke compile-smoke report-smoke train-smoke tune-smoke
+ci: vet fmt build race bench-smoke serve-smoke compile-smoke report-smoke train-smoke tune-smoke dist-smoke
 
 # bench-kernels measures the kernel micro-benchmarks and appends the
 # run to BENCH_kernels.json (the committed perf trajectory). Label the
@@ -64,6 +64,21 @@ compile-smoke:
 bench-serve: build
 	$(GO) run ./cmd/splitcnn loadtest -spawn -c 16 -n 512 \
 		| $(GO) run ./cmd/benchjson -o BENCH_serve.json -date "$$(date +%Y-%m-%d)" -label "$(BENCH_LABEL)"
+
+# bench-dist load-tests a router-fronted loopback fleet (4 shard
+# workers) and appends the run next to the single-process numbers in
+# BENCH_serve.json, so the distributed path's overhead stays visible in
+# the committed trajectory.
+bench-dist: build
+	$(GO) run ./cmd/splitcnn loadtest -spawnworkers 4 -c 16 -n 512 -bench DistLoadtest \
+		| $(GO) run ./cmd/benchjson -o BENCH_serve.json -date "$$(date +%Y-%m-%d)" -label "$(BENCH_LABEL)"
+
+# dist-smoke is the distributed-serving CI gate: a race-enabled
+# four-worker loopback fleet answers over real TCP RPC + HTTP, logits
+# must be bit-identical to single-process serve — including after one
+# worker is killed mid-fleet (ejection + gang retry).
+dist-smoke:
+	$(GO) run -race ./cmd/splitcnn router -smoke -spawn 4
 
 # golden regenerates the trace/metrics golden files after an intended
 # change to the cost model, planner, simulator or exporters.

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"splitcnn/internal/distserve"
+	"splitcnn/internal/serve"
+	"splitcnn/internal/trace"
+)
+
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "RPC listen address (host:port; :0 for a random port)")
+	sf := addSpecFlags(fs)
+	maxPods := fs.Int("maxpods", 4, "max concurrent shard evaluations (per-pod capacity limit)")
+	logJSON := fs.Bool("logjson", false, "emit lifecycle logs as JSON instead of text")
+	traceSample := fs.Float64("tracesample", 0, "fraction of shard evaluations recording per-stage wall spans")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := sf.spec()
+	if err != nil {
+		return err
+	}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	w, err := distserve.StartWorker(*addr, distserve.WorkerConfig{
+		Spec:        spec,
+		MaxPods:     *maxPods,
+		Metrics:     trace.NewMetrics(),
+		Logger:      slog.New(handler),
+		TraceSample: *traceSample,
+	})
+	if err != nil {
+		return err
+	}
+	p := w.Plan()
+	fmt.Printf("shard worker %q (%d stages, tail %q, max pods %d) on %s\n",
+		spec.Name, len(p.Stages), p.Tail, *maxPods, w.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("stopping...")
+	return w.Close()
+}
+
+func cmdRouter(args []string) error {
+	fs := flag.NewFlagSet("router", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	workersFlag := fs.String("workers", "", "comma-separated shard-worker RPC addresses")
+	spawn := fs.Int("spawn", 0, "spawn this many in-process loopback workers instead of -workers")
+	sf := addSpecFlags(fs)
+	shards := fs.Int("shards", 0, "max shards per request (0 = all workers)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request deadline (scatter + gather + tail)")
+	retries := fs.Int("retries", 2, "gang re-dispatch attempts after a worker failure")
+	logJSON := fs.Bool("logjson", false, "emit request/lifecycle logs as JSON instead of text")
+	traceSample := fs.Float64("tracesample", 0, "fraction of requests recording wall-clock stage spans (0 disables /tracez)")
+	smoke := fs.Bool("smoke", false, "self-test: spawn loopback workers, verify bit-identity with single-process serve plus crash recovery, exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *smoke {
+		if *spawn <= 0 {
+			*spawn = 4
+		}
+		*addr = "127.0.0.1:0"
+		*timeout = 30 * time.Second
+		if *traceSample <= 0 {
+			*traceSample = 1
+		}
+	}
+	spec, err := sf.spec()
+	if err != nil {
+		return err
+	}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	var workers []*distserve.Worker
+	addrs := splitComma(*workersFlag)
+	if *spawn > 0 {
+		if len(addrs) != 0 {
+			return fmt.Errorf("router: -spawn and -workers are mutually exclusive")
+		}
+		for i := 0; i < *spawn; i++ {
+			w, err := distserve.StartWorker("127.0.0.1:0", distserve.WorkerConfig{
+				Spec: spec, Logger: logger,
+			})
+			if err != nil {
+				return fmt.Errorf("router: spawn worker %d: %w", i, err)
+			}
+			defer w.Close()
+			workers = append(workers, w)
+			addrs = append(addrs, w.Addr())
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("router: no workers (use -workers host:port,... or -spawn N)")
+	}
+	rt, err := distserve.NewRouter(distserve.RouterOptions{
+		Spec:           spec,
+		Workers:        addrs,
+		MaxShards:      *shards,
+		RequestTimeout: *timeout,
+		Retries:        *retries,
+		Metrics:        trace.NewMetrics(),
+		Logger:         logger,
+		TraceSample:    *traceSample,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := rt.Start(*addr)
+	if err != nil {
+		return err
+	}
+	p := rt.Plan()
+	fmt.Printf("router %q (%d shardable stages, tail %q) over %d workers on http://%s\n",
+		spec.Name, len(p.Stages), p.Tail, len(addrs), bound)
+
+	if *smoke {
+		return routerSmoke(rt, spec, "http://"+bound.String(), workers)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return rt.Shutdown(ctx)
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range bytes.Split([]byte(s), []byte(",")) {
+		if p := string(bytes.TrimSpace(part)); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// routerSmoke is the CI `make dist-smoke` target: a four-worker
+// loopback gang must answer bit-identically to the single-process
+// serving path, keep answering after one worker is killed mid-fleet,
+// and expose sane health/worker/metrics surfaces — all through real TCP
+// RPC and real HTTP, inside this one process.
+func routerSmoke(rt *distserve.Router, spec serve.Spec, base string, workers []*distserve.Worker) error {
+	if len(workers) < 2 {
+		return fmt.Errorf("smoke: needs -spawn >= 2, got %d workers", len(workers))
+	}
+	// Reference: the single-process serving path on the same spec.
+	inst, err := serve.Load(spec)
+	if err != nil {
+		return fmt.Errorf("smoke: reference instance: %w", err)
+	}
+	img := make([]float32, inst.ImageLen())
+	for i := range img {
+		// Deterministic pseudo-image; any fixed pattern works.
+		img[i] = float32(math.Sin(float64(i))) * 0.5
+	}
+	ref, err := inst.Run([][]float32{img})
+	if err != nil {
+		return fmt.Errorf("smoke: reference run: %w", err)
+	}
+	want := ref[0]
+
+	predict := func() (serve.PredictResponse, error) {
+		body, _ := json.Marshal(serve.PredictRequest{Image: img})
+		resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return serve.PredictResponse{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			return serve.PredictResponse{}, fmt.Errorf("predict status %d: %s", resp.StatusCode, b)
+		}
+		var pr serve.PredictResponse
+		return pr, json.NewDecoder(resp.Body).Decode(&pr)
+	}
+	check := func(pr serve.PredictResponse, phase string) error {
+		if len(pr.Logits) != len(want) {
+			return fmt.Errorf("smoke (%s): %d logits, want %d", phase, len(pr.Logits), len(want))
+		}
+		for i := range want {
+			if math.Float32bits(pr.Logits[i]) != math.Float32bits(want[i]) {
+				return fmt.Errorf("smoke (%s): logit %d = %g, single-process serve says %g (not bit-identical)",
+					phase, i, pr.Logits[i], want[i])
+			}
+		}
+		return nil
+	}
+
+	pr, err := predict()
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	if err := check(pr, "full fleet"); err != nil {
+		return err
+	}
+	if pr.BatchSize < 2 {
+		return fmt.Errorf("smoke: answered by %d shards, want a real gang", pr.BatchSize)
+	}
+
+	// Kill one worker; the fleet must keep answering bit-identically.
+	workers[0].Close()
+	pr, err = predict()
+	if err != nil {
+		return fmt.Errorf("smoke after worker kill: %w", err)
+	}
+	if err := check(pr, "degraded fleet"); err != nil {
+		return err
+	}
+
+	// Introspection surfaces.
+	for _, path := range []string{"/healthz", "/v1/models", "/v1/workers", "/metricsz", "/tracez"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("smoke: %s: %w", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("smoke: %s status %d", path, resp.StatusCode)
+		}
+	}
+	if n := rt.Metrics().Counter("dist.requests").Value(); n < 2 {
+		return fmt.Errorf("smoke: dist.requests = %d, want >= 2", n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		return fmt.Errorf("smoke: shutdown: %w", err)
+	}
+	fmt.Printf("dist smoke ok: %d workers, %d shards/request, argmax %d, bit-identical to single-process serve (incl. after 1 worker kill)\n",
+		len(workers), pr.BatchSize, pr.Argmax)
+	return nil
+}

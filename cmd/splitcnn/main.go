@@ -35,8 +35,13 @@
 //	    measured GFLOP/s, and persist the winning plans
 //	splitcnn serve     -addr :8080 -arch vgg19 -snapshot w.snap [-compiled]
 //	    HTTP inference server with dynamic micro-batching
-//	splitcnn loadtest  -spawn -c 16 -n 512
-//	    closed-loop concurrent load test against a serve endpoint
+//	splitcnn worker    -addr :9090 -arch vgg19 -snapshot w.snap [-maxpods 4]
+//	    distributed split-inference shard worker (RPC)
+//	splitcnn router    -addr :8080 -workers host:9090,host:9091 [-smoke]
+//	    health-checked router scattering spatial shards across workers
+//	splitcnn loadtest  -spawn -c 16 -n 512 [-target URL] [-spawnworkers 4]
+//	    closed-loop concurrent load test against a serve or router
+//	    endpoint
 //	splitcnn version
 //	    print the binary's build provenance
 package main
@@ -91,6 +96,10 @@ func main() {
 		err = cmdTune(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
+	case "router":
+		err = cmdRouter(os.Args[2:])
 	case "loadtest":
 		err = cmdLoadtest(os.Args[2:])
 	case "version", "-version", "--version":
@@ -138,8 +147,18 @@ subcommands:
   serve             HTTP inference server with dynamic micro-batching
                     over the arena executor (-smoke for a CI self-test,
                     -compiled to serve the compiled static program)
-  loadtest          closed-loop concurrent client for a serve endpoint
-                    (-spawn to self-host; emits a Benchmark line for
+  worker            shard-evaluation worker for distributed
+                    split-inference: owns a band of feature-map rows per
+                    stage and serves Shard.{Eval,Halo,Health} over RPC
+  router            health-checked front end over shard workers: spatial
+                    scatter/gather with halo exchange, least-loaded gang
+                    dispatch, whole-gang retry on worker failure
+                    (-spawn N for a loopback fleet, -smoke for the CI
+                    bit-identity + crash-recovery self-test)
+  loadtest          closed-loop concurrent client for a serve or router
+                    endpoint (-spawn to self-host, -spawnworkers N for a
+                    loopback distributed fleet, -target URL for a remote
+                    endpoint; emits a Benchmark line for
                     cmd/benchjson -o BENCH_serve.json)
   version           print the binary's build provenance
 `, experiments.IDs())

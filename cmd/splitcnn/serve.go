@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"splitcnn/internal/distserve"
 	"splitcnn/internal/models"
 	"splitcnn/internal/serve"
 	"splitcnn/internal/trace"
@@ -285,7 +286,9 @@ func serveSmoke(srv *serve.Server, base string, inst *serve.Instance) error {
 func cmdLoadtest(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "server address (host:port)")
+	targetURL := fs.String("target", "", "base URL of the endpoint to test, e.g. http://10.0.0.2:8080 (overrides -addr; scheme optional)")
 	spawn := fs.Bool("spawn", false, "serve in-process on a random port and loadtest that")
+	spawnWorkers := fs.Int("spawnworkers", 0, "spawn a distributed fleet (router over N in-process shard workers) and loadtest that")
 	sf := addSpecFlags(fs)
 	maxDelay := fs.Duration("maxdelay", 2*time.Millisecond, "batching delay (with -spawn)")
 	conc := fs.Int("c", 8, "concurrent closed-loop clients")
@@ -295,7 +298,41 @@ func cmdLoadtest(args []string) error {
 		return err
 	}
 	target := *addr
-	if *spawn {
+	if *spawnWorkers > 0 {
+		spec, err := sf.spec()
+		if err != nil {
+			return err
+		}
+		var addrs []string
+		for i := 0; i < *spawnWorkers; i++ {
+			w, err := distserve.StartWorker("127.0.0.1:0", distserve.WorkerConfig{
+				Spec: spec, MaxPods: 2 * *conc, // loadtest measures latency, not admission control
+			})
+			if err != nil {
+				return fmt.Errorf("loadtest: spawn worker %d: %w", i, err)
+			}
+			defer w.Close()
+			addrs = append(addrs, w.Addr())
+		}
+		rt, err := distserve.NewRouter(distserve.RouterOptions{
+			Spec: spec, Workers: addrs,
+			TailExecutors:  *conc,
+			RequestTimeout: 60 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		bound, err := rt.Start("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		target = bound.String()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			rt.Shutdown(ctx)
+		}()
+	} else if *spawn {
 		spec, err := sf.spec()
 		if err != nil {
 			return err
@@ -321,6 +358,16 @@ func cmdLoadtest(args []string) error {
 		}()
 	}
 	base := "http://" + target
+	if *targetURL != "" {
+		if *spawn || *spawnWorkers > 0 {
+			return fmt.Errorf("loadtest: -target is mutually exclusive with -spawn/-spawnworkers")
+		}
+		base = *targetURL
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		base = strings.TrimSuffix(base, "/")
+	}
 
 	// Discover the default model's input geometry from the server.
 	resp, err := http.Get(base + "/v1/models")

@@ -1,9 +1,10 @@
-// Package dist implements the analytical distributed-training model of
-// §6.4: epoch time under bandwidth-bound gradient aggregation, using the
-// allreduce lower bound of Patarasuk & Yuan (2|G|/B_min), with backward
-// computation pipelined against communication. Split-CNN accelerates
-// distributed training purely by enabling larger per-node batch sizes,
-// which reduces the number of parameter updates per epoch.
+// This file is the analytical half of the package: the
+// distributed-training projection model of §6.4 — epoch time under
+// bandwidth-bound gradient aggregation, using the allreduce lower bound
+// of Patarasuk & Yuan (2|G|/B_min), with backward computation pipelined
+// against communication. Split-CNN accelerates distributed training
+// purely by enabling larger per-node batch sizes, which reduces the
+// number of parameter updates per epoch.
 package dist
 
 import "fmt"

@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Exchange is an in-memory rendezvous keyed by (request, stage): a
+// producer Publishes a value once, any number of consumers Wait for it,
+// and arrival order does not matter — a Wait that races ahead of its
+// Publish blocks on the same cell the Publish will complete. Shard
+// workers use it to hand halo rows to neighbor-serving RPC handlers.
+//
+// Requests are garbage-collected by deadline: Open (or the first
+// touch) stamps an expiry, SetExpiry tightens it after completion, and
+// a periodic Expire sweep drops everything stale, failing any waiter
+// still parked. This bounds memory when a gang partner dies mid-request
+// and its halo rows are never consumed.
+type Exchange struct {
+	mu   sync.Mutex
+	reqs map[string]*exchangeReq
+}
+
+type exchangeReq struct {
+	expiry time.Time
+	cells  map[int]*cell
+	// err, when non-nil, tombstones the request: every present and
+	// future Wait fails with it immediately. Tombstones matter because
+	// consumers race producers — a haloing neighbor whose RPC lands just
+	// after the producer aborts must fail fast, not park until timeout
+	// on a freshly auto-created cell.
+	err error
+}
+
+type cell struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// defaultTTL bounds requests nobody Opened explicitly (a Halo arriving
+// for a request whose Eval never lands here).
+const defaultTTL = time.Minute
+
+// NewExchange returns an empty exchange.
+func NewExchange() *Exchange {
+	return &Exchange{reqs: make(map[string]*exchangeReq)}
+}
+
+func (e *Exchange) req(id string) *exchangeReq {
+	r := e.reqs[id]
+	if r == nil {
+		r = &exchangeReq{expiry: time.Now().Add(defaultTTL), cells: make(map[int]*cell)}
+		e.reqs[id] = r
+	}
+	return r
+}
+
+func (e *Exchange) cell(id string, stage int) *cell {
+	r := e.req(id)
+	c := r.cells[stage]
+	if c == nil {
+		c = &cell{done: make(chan struct{})}
+		r.cells[stage] = c
+	}
+	return c
+}
+
+// Open registers (or re-stamps) a request with an explicit expiry.
+func (e *Exchange) Open(id string, expiry time.Time) {
+	e.mu.Lock()
+	e.req(id).expiry = expiry
+	e.mu.Unlock()
+}
+
+// SetExpiry tightens (or extends) a request's expiry; a no-op for
+// requests already swept.
+func (e *Exchange) SetExpiry(id string, expiry time.Time) {
+	e.mu.Lock()
+	if r := e.reqs[id]; r != nil {
+		r.expiry = expiry
+	}
+	e.mu.Unlock()
+}
+
+// Publish completes the (id, stage) cell with v, waking every waiter.
+// Publishing an already-completed cell is ignored (retries republish);
+// so is publishing into a failed request.
+func (e *Exchange) Publish(id string, stage int, v any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r := e.reqs[id]; r != nil && r.err != nil {
+		return
+	}
+	c := e.cell(id, stage)
+	select {
+	case <-c.done:
+	default:
+		c.val = v
+		close(c.done)
+	}
+}
+
+// Wait blocks until the (id, stage) cell is published, the request is
+// released/expired, or timeout elapses.
+func (e *Exchange) Wait(id string, stage int, timeout time.Duration) (any, error) {
+	e.mu.Lock()
+	if r := e.reqs[id]; r != nil && r.err != nil {
+		err := r.err
+		e.mu.Unlock()
+		return nil, err
+	}
+	c := e.cell(id, stage)
+	e.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, c.err
+		}
+		return c.val, nil
+	case <-t.C:
+		return nil, fmt.Errorf("dist: exchange wait %s stage %d: timed out after %v", id, stage, timeout)
+	}
+}
+
+// Release drops a request immediately, failing parked waiters. Waiters
+// arriving after Release park on a fresh auto-created cell; producers
+// that abort and expect stragglers should use Fail instead.
+func (e *Exchange) Release(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.reqs[id]
+	delete(e.reqs, id)
+	failReq(r, fmt.Errorf("dist: exchange request %s released", id))
+}
+
+// Fail tombstones a request until expiry: parked waiters fail now with
+// err, and any Wait arriving before the expiry sweep fails immediately
+// instead of parking. Producers call it when their evaluation aborts,
+// so gang partners mid-halo-RPC collapse at once rather than riding out
+// their own timeouts.
+func (e *Exchange) Fail(id string, err error, expiry time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.req(id)
+	r.err = err
+	r.expiry = expiry
+	failReq(r, err)
+}
+
+// Expire sweeps every request whose expiry precedes now, failing parked
+// waiters, and reports how many requests were dropped.
+func (e *Exchange) Expire(now time.Time) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dropped := 0
+	for id, r := range e.reqs {
+		if r.expiry.Before(now) {
+			failReq(r, fmt.Errorf("dist: exchange request expired"))
+			delete(e.reqs, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Len reports how many requests are currently resident (tests, gauges).
+func (e *Exchange) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.reqs)
+}
+
+// failReq closes every pending cell with err. Caller holds e.mu, which
+// serializes it against Publish's check-and-close.
+func failReq(r *exchangeReq, err error) {
+	if r == nil {
+		return
+	}
+	for _, c := range r.cells {
+		select {
+		case <-c.done:
+		default:
+			c.err = err
+			close(c.done)
+		}
+	}
+}

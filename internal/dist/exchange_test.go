@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExchangePublishThenWait(t *testing.T) {
+	e := NewExchange()
+	e.Open("r1", time.Now().Add(time.Minute))
+	e.Publish("r1", 0, 42)
+	v, err := e.Wait("r1", 0, time.Second)
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Wait: %v, %v", v, err)
+	}
+	// Double publish is ignored, first value wins.
+	e.Publish("r1", 0, 99)
+	if v, _ := e.Wait("r1", 0, time.Second); v.(int) != 42 {
+		t.Fatalf("double publish overwrote: %v", v)
+	}
+}
+
+func TestExchangeWaitBeforePublish(t *testing.T) {
+	e := NewExchange()
+	e.Open("r1", time.Now().Add(time.Minute))
+	got := make(chan any, 1)
+	go func() {
+		v, err := e.Wait("r1", 3, 5*time.Second)
+		if err != nil {
+			got <- err
+			return
+		}
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	e.Publish("r1", 3, "rows")
+	if v := <-got; v != "rows" {
+		t.Fatalf("racing waiter got %v", v)
+	}
+}
+
+func TestExchangeWaitTimesOut(t *testing.T) {
+	e := NewExchange()
+	if _, err := e.Wait("ghost", 0, 20*time.Millisecond); err == nil {
+		t.Fatal("wait on never-published cell succeeded")
+	}
+}
+
+func TestExchangeExpireFailsWaiters(t *testing.T) {
+	e := NewExchange()
+	e.Open("r1", time.Now().Add(10*time.Millisecond))
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := e.Wait("r1", 0, 10*time.Second)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if n := e.Expire(time.Now()); n != 1 {
+		t.Fatalf("Expire dropped %d requests, want 1", n)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("expired waiter got a value")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not failed by Expire")
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d after sweep", e.Len())
+	}
+}
+
+// TestExchangeFailTombstonesLateWaiters pins the race the distributed
+// worker hit: a consumer whose RPC lands *after* the producer aborts
+// must fail immediately, not park until its own timeout.
+func TestExchangeFailTombstonesLateWaiters(t *testing.T) {
+	e := NewExchange()
+	e.Open("r1", time.Now().Add(time.Minute))
+	boom := errors.New("producer aborted")
+
+	// Parked waiter fails now.
+	parked := make(chan error, 1)
+	go func() {
+		_, err := e.Wait("r1", 0, 10*time.Second)
+		parked <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	e.Fail("r1", boom, time.Now().Add(time.Second))
+	select {
+	case err := <-parked:
+		if !errors.Is(err, boom) {
+			t.Fatalf("parked waiter: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("parked waiter survived Fail")
+	}
+
+	// Late waiter fails immediately (the important half).
+	start := time.Now()
+	if _, err := e.Wait("r1", 7, 10*time.Second); !errors.Is(err, boom) {
+		t.Fatalf("late waiter: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("late waiter parked instead of failing fast")
+	}
+
+	// Publishes into a failed request are dropped, and waiters still
+	// see the failure rather than the value.
+	e.Publish("r1", 7, "stale")
+	if _, err := e.Wait("r1", 7, time.Second); !errors.Is(err, boom) {
+		t.Fatalf("post-fail publish resurrected the request: %v", err)
+	}
+
+	// The tombstone itself is swept by expiry.
+	time.Sleep(1100 * time.Millisecond)
+	if n := e.Expire(time.Now()); n != 1 {
+		t.Fatalf("tombstone sweep dropped %d, want 1", n)
+	}
+}
+
+func TestExchangeReleaseFailsWaiters(t *testing.T) {
+	e := NewExchange()
+	e.Open("r1", time.Now().Add(time.Minute))
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := e.Wait("r1", 0, 10*time.Second)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	e.Release("r1")
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "released") {
+			t.Fatalf("released waiter: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not failed by Release")
+	}
+}
+
+// TestExchangeConcurrentPublishersAndWaiters shakes the check-and-close
+// paths under the race detector.
+func TestExchangeConcurrentPublishersAndWaiters(t *testing.T) {
+	e := NewExchange()
+	e.Open("r1", time.Now().Add(time.Minute))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(stage int) {
+			defer wg.Done()
+			e.Publish("r1", stage%4, stage)
+		}(i)
+		go func(stage int) {
+			defer wg.Done()
+			if _, err := e.Wait("r1", stage%4, 5*time.Second); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	e.Release("r1")
+}

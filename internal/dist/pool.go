@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// ErrTimeout reports an RPC that did not complete within its deadline.
+// The connection it ran on is invalidated (a late reply would otherwise
+// be mis-delivered to the next call's reply slot).
+var ErrTimeout = errors.New("dist: rpc deadline exceeded")
+
+// ClientPool caches one net/rpc client per remote address and layers
+// per-call deadlines on top of rpc.Client's asynchronous Go API. It is
+// safe for concurrent use; calls to distinct addresses never serialize
+// on each other (dialing holds only a per-address lock).
+//
+// Error policy: a server-side error (rpc.ServerError — the handler ran
+// and returned an error) leaves the connection cached; any transport
+// error or timeout closes and drops it, so the next call redials.
+type ClientPool struct {
+	// DialTimeout bounds connection establishment (default 500ms).
+	DialTimeout time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+	closed  bool
+}
+
+type poolEntry struct {
+	mu sync.Mutex
+	c  *rpc.Client
+}
+
+// NewClientPool returns an empty pool.
+func NewClientPool() *ClientPool {
+	return &ClientPool{entries: make(map[string]*poolEntry)}
+}
+
+func (p *ClientPool) entry(addr string) (*poolEntry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("dist: client pool closed")
+	}
+	e := p.entries[addr]
+	if e == nil {
+		e = &poolEntry{}
+		p.entries[addr] = e
+	}
+	return e, nil
+}
+
+func (p *ClientPool) client(addr string) (*rpc.Client, error) {
+	e, err := p.entry(addr)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.c != nil {
+		return e.c, nil
+	}
+	dt := p.DialTimeout
+	if dt <= 0 {
+		dt = 500 * time.Millisecond
+	}
+	conn, err := net.DialTimeout("tcp", addr, dt)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	e.c = rpc.NewClient(conn)
+	return e.c, nil
+}
+
+// Invalidate closes and forgets the cached client for addr if it still
+// is c (a concurrent caller may already have replaced it).
+func (p *ClientPool) Invalidate(addr string, c *rpc.Client) {
+	p.mu.Lock()
+	e := p.entries[addr]
+	p.mu.Unlock()
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.c == c {
+		e.c = nil
+	}
+	e.mu.Unlock()
+	c.Close()
+}
+
+// Call performs one RPC against addr with a hard deadline. On timeout
+// the underlying connection is closed, which also fails any other calls
+// in flight on it — deadline busts are exceptional, correctness first.
+func (p *ClientPool) Call(addr, method string, args, reply any, timeout time.Duration) error {
+	if timeout <= 0 {
+		return fmt.Errorf("%w: %s %s (no time remaining)", ErrTimeout, addr, method)
+	}
+	c, err := p.client(addr)
+	if err != nil {
+		return err
+	}
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		p.Invalidate(addr, c)
+		return fmt.Errorf("%w: %s %s after %v", ErrTimeout, addr, method, timeout)
+	case done := <-call.Done:
+		if done.Error != nil {
+			var se rpc.ServerError
+			if !errors.As(done.Error, &se) {
+				p.Invalidate(addr, c)
+			}
+			return fmt.Errorf("dist: %s %s: %w", addr, method, done.Error)
+		}
+		return nil
+	}
+}
+
+// Close closes every cached connection and rejects future calls.
+func (p *ClientPool) Close() {
+	p.mu.Lock()
+	entries := p.entries
+	p.entries = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.c != nil {
+			e.c.Close()
+			e.c = nil
+		}
+		e.mu.Unlock()
+	}
+}

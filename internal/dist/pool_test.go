@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"net/rpc"
+	"testing"
+	"time"
+)
+
+// echoSvc is a minimal RPC service for pool tests.
+type echoSvc struct{}
+
+type EchoArgs struct {
+	X       int
+	Fail    bool
+	SleepMs int
+}
+
+func (echoSvc) Echo(a *EchoArgs, reply *int) error {
+	if a.SleepMs > 0 {
+		time.Sleep(time.Duration(a.SleepMs) * time.Millisecond)
+	}
+	if a.Fail {
+		return errors.New("handler says no")
+	}
+	*reply = a.X
+	return nil
+}
+
+func startEcho(t *testing.T) string {
+	t.Helper()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Echo", echoSvc{}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestPoolCallRoundTrip(t *testing.T) {
+	addr := startEcho(t)
+	p := NewClientPool()
+	defer p.Close()
+	var got int
+	if err := p.Call(addr, "Echo.Echo", &EchoArgs{X: 7}, &got, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("echo returned %d", got)
+	}
+}
+
+// TestPoolServerErrorKeepsConnection: a handler error is not a liveness
+// signal — the cached client must survive and serve the next call.
+func TestPoolServerErrorKeepsConnection(t *testing.T) {
+	addr := startEcho(t)
+	p := NewClientPool()
+	defer p.Close()
+	var got int
+	err := p.Call(addr, "Echo.Echo", &EchoArgs{Fail: true}, &got, time.Second)
+	var se rpc.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("want rpc.ServerError, got %v", err)
+	}
+	if err := p.Call(addr, "Echo.Echo", &EchoArgs{X: 8}, &got, time.Second); err != nil || got != 8 {
+		t.Fatalf("connection dropped after server error: %v", err)
+	}
+}
+
+// TestPoolTimeoutInvalidates: a deadline bust closes the connection so a
+// late reply can never land in a later call's reply slot; the pool then
+// redials transparently.
+func TestPoolTimeoutInvalidates(t *testing.T) {
+	addr := startEcho(t)
+	p := NewClientPool()
+	defer p.Close()
+	var got int
+	err := p.Call(addr, "Echo.Echo", &EchoArgs{X: 1, SleepMs: 500}, &got, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if err := p.Call(addr, "Echo.Echo", &EchoArgs{X: 9}, &got, time.Second); err != nil || got != 9 {
+		t.Fatalf("pool did not redial after timeout: %v (got %d)", err, got)
+	}
+	if err := p.Call(addr, "Echo.Echo", &EchoArgs{X: 1}, &got, 0); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("zero budget should fail fast with ErrTimeout, got %v", err)
+	}
+}
+
+func TestPoolDeadAddressAndClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	p := NewClientPool()
+	var got int
+	if err := p.Call(dead, "Echo.Echo", &EchoArgs{X: 1}, &got, time.Second); err == nil {
+		t.Fatal("call to dead address succeeded")
+	}
+	p.Close()
+	if err := p.Call(dead, "Echo.Echo", &EchoArgs{X: 1}, &got, time.Second); err == nil {
+		t.Fatal("closed pool accepted a call")
+	}
+}

@@ -1,0 +1,83 @@
+package distserve
+
+// Wire types for the Shard RPC service (net/rpc over TCP, gob-encoded).
+// Three methods:
+//
+//	Shard.Eval   router → worker   evaluate one shard of one request
+//	Shard.Halo   worker → worker   fetch boundary rows of an earlier stage
+//	Shard.Health router → worker   liveness + capacity + model signature
+//
+// Request identity is attempt-scoped: the router mints a fresh ReqID
+// per retry attempt, so halo rows published by a failed gang can never
+// be consumed by its replacement.
+
+// EvalArgs asks a worker to evaluate shard Shard of a Shards-wide gang.
+type EvalArgs struct {
+	// ReqID uniquely names this (request, attempt); it keys the halo
+	// exchange on every gang member.
+	ReqID string
+	// Model is the router's plan signature; the worker rejects
+	// mismatches before touching the exchange.
+	Model string
+	// Shard / Gang: this worker computes band Shard of len(Gang) and
+	// fetches halos from Gang[i] (its own address included, unused).
+	Shard int
+	Gang  []string
+	// TimeoutMs is the remaining request budget; every internal wait is
+	// bounded by it.
+	TimeoutMs int64
+	// Rows holds image rows [RowLo, RowHi) in NCHW row-band layout
+	// (C contiguous blocks of (RowHi−RowLo)×W floats) — exactly the
+	// band Plan.ImageRange assigns this shard.
+	RowLo, RowHi int
+	Rows         []float32
+}
+
+// EvalReply carries the shard's band of the final prefix stage.
+type EvalReply struct {
+	// RowLo/RowHi is the band of final-stage output rows (may be empty
+	// for small feature maps sharded wide).
+	RowLo, RowHi int
+	// Data is the band in NCHW row-band layout (C × rows × W).
+	Data []float32
+	// Stages echoes the evaluated stage count (router sanity check).
+	Stages int
+}
+
+// HaloArgs requests rows [Lo, Hi) of stage Stage's output for request
+// ReqID. The receiving worker blocks (up to TimeoutMs) until its own
+// evaluation publishes that stage.
+type HaloArgs struct {
+	ReqID     string
+	Stage     int
+	Lo, Hi    int
+	TimeoutMs int64
+}
+
+// HaloReply carries the rows in NCHW row-band layout.
+type HaloReply struct {
+	Data []float32
+}
+
+// HealthArgs is empty; the method exists to probe liveness.
+type HealthArgs struct{}
+
+// HealthReply reports worker identity and capacity for the router's
+// health loop and least-loaded dispatch.
+type HealthReply struct {
+	// Model is the worker's plan signature; routers eject workers whose
+	// signature differs from their own (wrong arch or stale weights).
+	Model string
+	// InFlight / MaxPods: current and maximum concurrent shard
+	// evaluations (the per-pod capacity limit).
+	InFlight int
+	MaxPods  int
+	// Counters since start, for /v1/workers introspection.
+	Requests     uint64
+	HaloRequests uint64
+	HaloBytes    uint64
+	UptimeSec    float64
+}
+
+// bandLen returns the float count of a C-channel row band.
+func bandLen(c, rows, w int) int { return c * rows * w }

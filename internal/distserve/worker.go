@@ -1,0 +1,365 @@
+package distserve
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"splitcnn/internal/dist"
+	"splitcnn/internal/serve"
+	"splitcnn/internal/snapshot"
+	"splitcnn/internal/tensor"
+	"splitcnn/internal/trace"
+)
+
+// ErrCapacity is returned (over the wire, by message prefix) when a
+// worker is already running MaxPods concurrent shard evaluations.
+var ErrCapacity = errors.New("distserve: worker at capacity")
+
+// capacityPrefix survives the rpc.ServerError round trip, so routers
+// can distinguish "busy, pick someone else" from "broken, eject".
+const capacityPrefix = "capacity: "
+
+// WorkerConfig configures one shard worker.
+type WorkerConfig struct {
+	// Spec selects the model; it must match the router's spec exactly
+	// (the Signature handshake enforces it). MaxBatch is forced to 1 —
+	// the distributed path shards space, not batches.
+	Spec serve.Spec
+	// MaxPods caps concurrent shard evaluations (default 4) — the
+	// per-pod capacity limit the router's dispatch respects.
+	MaxPods int
+	// Metrics receives dist.worker.* instruments (nil = private).
+	Metrics *trace.Metrics
+	// Logger receives lifecycle/request logs (nil discards).
+	Logger *slog.Logger
+	// TraceSample in (0,1] records per-stage wall spans for that
+	// fraction of shard evaluations (exposed via Tracer).
+	TraceSample float64
+	// StageDelay is a testing aid: every stage evaluation sleeps this
+	// long, making capacity and deadline windows deterministic.
+	StageDelay time.Duration
+}
+
+// Worker is one shard-evaluation process: it materializes the model,
+// extracts the shard plan, and serves Shard.{Eval,Halo,Health} over
+// net/rpc. Halo rows flow through a dist.Exchange so the Eval goroutine
+// and concurrent neighbor Halo handlers rendezvous without shared state
+// beyond the exchange.
+type Worker struct {
+	plan *Plan
+	eval *ShardEval
+	sig  string
+
+	pool *dist.ClientPool
+	exch *dist.Exchange
+
+	maxPods  int
+	inflight atomic.Int64
+	requests atomic.Uint64
+	haloReqs atomic.Uint64
+	haloBts  atomic.Uint64
+
+	met     *trace.Metrics
+	log     *slog.Logger
+	tracer  *trace.WallTracer
+	delay   time.Duration
+	started time.Time
+
+	ln   net.Listener
+	srv  *rpc.Server
+	stop chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// haloRows is the value type published on the exchange per stage.
+type haloRows struct {
+	rows Range
+	t    *tensor.Tensor
+}
+
+// shardService is the exported RPC receiver ("Shard").
+type shardService struct{ w *Worker }
+
+// StartWorker materializes cfg.Spec, builds the shard plan, and serves
+// the Shard RPC service on addr (use "127.0.0.1:0" for a random port).
+func StartWorker(addr string, cfg WorkerConfig) (*Worker, error) {
+	spec := cfg.Spec
+	spec.MaxBatch = 1
+	m, store, err := serve.Materialize(spec)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	se, err := NewShardEval(plan, store)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := snapshot.FingerprintFile(spec.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = trace.NewMetrics()
+	}
+	maxPods := cfg.MaxPods
+	if maxPods <= 0 {
+		maxPods = 4
+	}
+	w := &Worker{
+		plan: plan, eval: se, sig: plan.Signature(fp),
+		pool: dist.NewClientPool(), exch: dist.NewExchange(),
+		maxPods: maxPods, met: met, log: logger,
+		delay: cfg.StageDelay, started: time.Now(),
+		stop: make(chan struct{}), conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.TraceSample > 0 {
+		w.tracer = trace.NewWallTracer(cfg.TraceSample, 1)
+	}
+	w.srv = rpc.NewServer()
+	if err := w.srv.RegisterName("Shard", &shardService{w}); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w.ln = ln
+	go w.acceptLoop()
+	go w.janitor()
+	w.log.Info("dist.worker.start", "addr", ln.Addr().String(),
+		"stages", len(plan.Stages), "max_pods", maxPods)
+	return w, nil
+}
+
+// Addr returns the bound listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Plan returns the worker's shard plan (tests).
+func (w *Worker) Plan() *Plan { return w.plan }
+
+// Signature returns the worker's model signature.
+func (w *Worker) Signature() string { return w.sig }
+
+// Metrics returns the worker's metrics registry.
+func (w *Worker) Metrics() *trace.Metrics { return w.met }
+
+// Tracer returns the per-stage wall tracer (nil unless TraceSample>0).
+func (w *Worker) Tracer() *trace.WallTracer { return w.tracer }
+
+// Close simulates an abrupt worker death for the failure tests and
+// implements graceful stop: the listener and every open connection are
+// closed, pending exchange waiters fail fast.
+func (w *Worker) Close() error {
+	select {
+	case <-w.stop:
+		return nil
+	default:
+	}
+	close(w.stop)
+	err := w.ln.Close()
+	w.mu.Lock()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.mu.Unlock()
+	w.pool.Close()
+	w.exch.Expire(time.Now().Add(24 * time.Hour)) // everything
+	w.log.Info("dist.worker.stop", "requests", w.requests.Load())
+	return err
+}
+
+func (w *Worker) acceptLoop() {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		w.mu.Lock()
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		go func() {
+			w.srv.ServeConn(conn)
+			w.mu.Lock()
+			delete(w.conns, conn)
+			w.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// janitor sweeps expired exchange requests — the backstop that bounds
+// memory when a gang partner dies and its halos go unconsumed.
+func (w *Worker) janitor() {
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-t.C:
+			if n := w.exch.Expire(now); n > 0 {
+				w.met.Counter("dist.worker.expired_requests").Add(int64(n))
+			}
+			w.met.Gauge("dist.worker.exchange_requests").Set(float64(w.exch.Len()))
+		}
+	}
+}
+
+// Eval implements Shard.Eval.
+func (s *shardService) Eval(args *EvalArgs, reply *EvalReply) error {
+	return s.w.evalShard(args, reply)
+}
+
+// Halo implements Shard.Halo.
+func (s *shardService) Halo(args *HaloArgs, reply *HaloReply) error {
+	return s.w.halo(args, reply)
+}
+
+// Health implements Shard.Health.
+func (s *shardService) Health(_ *HealthArgs, reply *HealthReply) error {
+	w := s.w
+	*reply = HealthReply{
+		Model:        w.sig,
+		InFlight:     int(w.inflight.Load()),
+		MaxPods:      w.maxPods,
+		Requests:     w.requests.Load(),
+		HaloRequests: w.haloReqs.Load(),
+		HaloBytes:    w.haloBts.Load(),
+		UptimeSec:    time.Since(w.started).Seconds(),
+	}
+	return nil
+}
+
+func (w *Worker) evalShard(args *EvalArgs, reply *EvalReply) error {
+	if n := w.inflight.Add(1); n > int64(w.maxPods) {
+		w.inflight.Add(-1)
+		w.met.Counter("dist.worker.capacity_rejects").Add(1)
+		return fmt.Errorf("%s%w (%d in flight, max %d)", capacityPrefix, ErrCapacity, n-1, w.maxPods)
+	}
+	defer w.inflight.Add(-1)
+	w.requests.Add(1)
+	w.met.Counter("dist.worker.requests").Add(1)
+
+	if args.Model != w.sig {
+		return fmt.Errorf("distserve: model signature mismatch (worker %q)", w.sig)
+	}
+	if args.Shard < 0 || args.Shard >= len(args.Gang) {
+		return fmt.Errorf("distserve: shard %d of gang %d", args.Shard, len(args.Gang))
+	}
+	deadline := time.Now().Add(time.Duration(args.TimeoutMs) * time.Millisecond)
+	owners := w.plan.Owners(len(args.Gang))
+	imgR := w.plan.ImageRange(owners, args.Shard)
+	if args.RowLo != imgR.Lo || args.RowHi != imgR.Hi {
+		return fmt.Errorf("distserve: shard %d sent image rows [%d,%d), plan wants %v",
+			args.Shard, args.RowLo, args.RowHi, imgR)
+	}
+	var image *tensor.Tensor
+	if !imgR.Empty() {
+		if len(args.Rows) != bandLen(w.plan.InC, imgR.Len(), w.plan.InW) {
+			return fmt.Errorf("distserve: image band has %d floats, want %d", len(args.Rows), bandLen(w.plan.InC, imgR.Len(), w.plan.InW))
+		}
+		image = tensor.New(1, w.plan.InC, imgR.Len(), w.plan.InW)
+		copy(image.Data(), args.Rows)
+	}
+
+	// The exchange entry lives until the deadline, then a short grace
+	// after completion — neighbors may still be consuming our rows.
+	w.exch.Open(args.ReqID, deadline)
+	defer w.exch.SetExpiry(args.ReqID, minTime(deadline, time.Now().Add(5*time.Second)))
+
+	sc := w.tracer.Request(fmt.Sprintf("%s/s%d", args.ReqID, args.Shard))
+	start := time.Now()
+	fetch := func(stage, owner int, rows Range) (*tensor.Tensor, error) {
+		remaining := time.Until(deadline)
+		var hr HaloReply
+		err := w.pool.Call(args.Gang[owner], "Shard.Halo", &HaloArgs{
+			ReqID: args.ReqID, Stage: stage, Lo: rows.Lo, Hi: rows.Hi,
+			TimeoutMs: remaining.Milliseconds(),
+		}, &hr, remaining)
+		if err != nil {
+			return nil, err
+		}
+		c, wd := w.plan.Stages[stage].OutC, w.plan.Stages[stage].OutW
+		if len(hr.Data) != bandLen(c, rows.Len(), wd) {
+			return nil, fmt.Errorf("distserve: halo reply has %d floats, want %d", len(hr.Data), bandLen(c, rows.Len(), wd))
+		}
+		t := tensor.New(1, c, rows.Len(), wd)
+		copy(t.Data(), hr.Data)
+		return t, nil
+	}
+	publish := func(stage int, rows Range, t *tensor.Tensor) {
+		w.exch.Publish(args.ReqID, stage, &haloRows{rows: rows, t: t})
+	}
+	obs := func(stage int, name string, s0, s1 time.Time) {
+		if w.delay > 0 {
+			time.Sleep(w.delay)
+		}
+		sc.Record("stage:"+name, s0, s1)
+		w.met.Histogram("dist.worker.stage_seconds", trace.LatencyBuckets).Observe(s1.Sub(s0).Seconds())
+	}
+	out, band, err := w.eval.RunShard(image, args.Shard, owners, fetch, publish, obs)
+	if err != nil {
+		// Tombstone the exchange entry: our published rows are part of a
+		// failed attempt, and gang partners parked on — or racing toward —
+		// our unpublished stages must fail immediately rather than ride
+		// out the grace period or their own halo timeouts.
+		w.exch.Fail(args.ReqID, err, minTime(deadline, time.Now().Add(5*time.Second)))
+		w.met.Counter("dist.worker.errors").Add(1)
+		w.log.Warn("dist.worker.eval_error", "req", args.ReqID, "shard", args.Shard, "err", err)
+		return err
+	}
+	reply.RowLo, reply.RowHi = band.Lo, band.Hi
+	reply.Stages = len(w.plan.Stages)
+	if out != nil {
+		reply.Data = append([]float32(nil), out.Data()...)
+	}
+	sc.Record("shard_eval", start, time.Now())
+	w.tracer.Finish(sc)
+	w.met.Histogram("dist.worker.eval_seconds", trace.LatencyBuckets).Observe(time.Since(start).Seconds())
+	return nil
+}
+
+func (w *Worker) halo(args *HaloArgs, reply *HaloReply) error {
+	w.haloReqs.Add(1)
+	w.met.Counter("dist.worker.halo_requests").Add(1)
+	timeout := time.Duration(args.TimeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		return fmt.Errorf("distserve: halo request with no time budget")
+	}
+	v, err := w.exch.Wait(args.ReqID, args.Stage, timeout)
+	if err != nil {
+		return err
+	}
+	hr := v.(*haloRows)
+	want := Range{args.Lo, args.Hi}
+	if want.Lo < hr.rows.Lo || want.Hi > hr.rows.Hi {
+		return fmt.Errorf("distserve: halo wants rows %v of stage %d, shard owns %v", want, args.Stage, hr.rows)
+	}
+	slice := SliceRows(hr.t, hr.rows.Lo, want)
+	reply.Data = slice.Data()
+	w.haloBts.Add(uint64(len(reply.Data) * 4))
+	return nil
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}

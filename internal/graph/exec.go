@@ -101,6 +101,13 @@ type Executor struct {
 	grads    []*tensor.Tensor
 	outsBuf  []*tensor.Tensor
 	isOutput []bool
+	// extern marks node values owned by the caller (ForwardFrom
+	// overrides): released and recycled by clearing the slot only,
+	// never by returning the tensor to the arena.
+	extern []bool
+	// ovr caches the reachability analysis of the last ForwardFrom
+	// override set (override.go).
+	ovr *overrideState
 	// retired holds output tensors whose arena reclamation is deferred
 	// to the next Forward: the caller reads them after Backward returns.
 	retired []*tensor.Tensor
@@ -141,6 +148,7 @@ func NewExecutor(g *Graph, store *ParamStore) (*Executor, error) {
 		grads:     make([]*tensor.Tensor, len(g.Nodes)),
 		outsBuf:   make([]*tensor.Tensor, len(g.Outputs)),
 		isOutput:  make([]bool, len(g.Nodes)),
+		extern:    make([]bool, len(g.Nodes)),
 	}
 	for _, n := range g.Outputs {
 		e.isOutput[n.ID] = true
@@ -203,9 +211,12 @@ func (e *Executor) recycle() {
 			continue
 		}
 		if v := e.vals[n.ID]; v != nil {
-			e.arena.Put(v)
+			if !e.extern[n.ID] {
+				e.arena.Put(v)
+			}
 			e.vals[n.ID] = nil
 		}
+		e.extern[n.ID] = false
 		if st, ok := e.stashes[n.ID].(*tensor.Tensor); ok {
 			e.arena.Put(st)
 		}
@@ -218,12 +229,37 @@ func (e *Executor) recycle() {
 // released before Forward returns. When an arena is installed, the
 // returned tensors are valid until the next Forward call.
 func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
+	return e.forward(feeds, nil, nil)
+}
+
+// forward is the shared forward core. over, when non-nil, maps node IDs
+// to caller-supplied values that replace the node's computation; need,
+// when non-nil, masks which nodes must execute at all (both come from
+// ForwardFrom's reachability analysis and are nil for a plain Forward).
+func (e *Executor) forward(feeds Feeds, over []*tensor.Tensor, need []bool) ([]*tensor.Tensor, error) {
 	e.recycle()
 	e.liveBytes, e.PeakLiveBytes = 0, 0
 	for id := range e.remaining {
 		e.remaining[id] = len(e.cons[id])
 	}
+	if need != nil {
+		// Only consumers that will actually execute count toward a
+		// value's liveness: skipped and overridden ops never read their
+		// inputs.
+		for id := range e.remaining {
+			r := 0
+			for _, c := range e.cons[id] {
+				if need[c.ID] && over[c.ID] == nil {
+					r++
+				}
+			}
+			e.remaining[id] = r
+		}
+	}
 	for _, n := range e.topo {
+		if need != nil && !need[n.ID] {
+			continue
+		}
 		switch n.Kind {
 		case KindInput:
 			t, ok := feeds[n.Name]
@@ -237,6 +273,14 @@ func (e *Executor) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 		case KindParam:
 			e.vals[n.ID] = e.store.Lookup(n.Name).Value
 		case KindOp:
+			if over != nil && over[n.ID] != nil {
+				// Caller-supplied value: adopt without executing and
+				// mark it external so no release path recycles it.
+				e.vals[n.ID] = over[n.ID]
+				e.extern[n.ID] = true
+				e.account(over[n.ID].Bytes())
+				continue
+			}
 			in := e.inbufs[n.ID]
 			for i, src := range n.Inputs {
 				in[i] = e.vals[src.ID]
@@ -329,6 +373,12 @@ func (e *Executor) hookStart() float64 {
 func (e *Executor) release(n *Node) {
 	if e.vals[n.ID] != nil && n.Kind == KindOp {
 		e.liveBytes -= e.vals[n.ID].Bytes()
+		if e.extern[n.ID] {
+			// Caller-owned override value: drop the reference only; the
+			// recycle sweep clears the extern mark.
+			e.vals[n.ID] = nil
+			return
+		}
 		if e.isOutput[n.ID] {
 			// The caller may still read this output tensor after
 			// Backward returns; reclaim it at the next Forward instead.

@@ -105,11 +105,13 @@ func (in *Instance) ArenaStats() tensor.ArenaStats {
 // static program.
 func (in *Instance) Compiled() bool { return in.prog != nil }
 
-// Load builds the instance described by spec: construct the graph,
-// initialize (or restore) the weights, flip to inference mode, and warm
-// the arena with one full-batch forward pass so steady-state serving
-// allocates nothing.
-func Load(spec Spec) (*Instance, error) {
+// Materialize builds the inference-mode model described by spec —
+// graph construction, weight initialization (or snapshot restore),
+// eval-mode flip, logits-only output, optional autotuning — without
+// committing to an execution strategy. Load wraps it in a batching
+// Instance; the distributed serving layer (internal/distserve) calls it
+// directly so router and shard workers materialize the identical model.
+func Materialize(spec Spec) (*models.Model, *graph.ParamStore, error) {
 	maxBatch := spec.MaxBatch
 	if maxBatch <= 0 {
 		maxBatch = 8
@@ -134,14 +136,14 @@ func Load(spec Spec) (*Instance, error) {
 		err = fmt.Errorf("spec %q: one of ModelText, ModelFile or Arch required", spec.Name)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("serve: load %q: %w", spec.Name, err)
+		return nil, nil, fmt.Errorf("serve: load %q: %w", spec.Name, err)
 	}
 
 	store := graph.NewParamStore()
 	store.InitFromGraph(m.Graph, rand.New(rand.NewSource(1)), nn.KaimingInit)
 	if spec.Snapshot != "" {
 		if err := snapshot.LoadFile(spec.Snapshot, store, m.BNStates); err != nil {
-			return nil, fmt.Errorf("serve: load %q: %w", spec.Name, err)
+			return nil, nil, fmt.Errorf("serve: load %q: %w", spec.Name, err)
 		}
 	}
 
@@ -157,15 +159,31 @@ func Load(spec Spec) (*Instance, error) {
 	if spec.Tune {
 		if spec.TuneCache != "" {
 			if err := autotune.Default.Load(spec.TuneCache); err != nil {
-				return nil, fmt.Errorf("serve: load %q: tune cache: %w", spec.Name, err)
+				return nil, nil, fmt.Errorf("serve: load %q: tune cache: %w", spec.Name, err)
 			}
 		}
 		autotune.Default.TuneGraph(m.Graph)
 		if spec.TuneCache != "" {
 			if err := autotune.Default.Save(); err != nil {
-				return nil, fmt.Errorf("serve: load %q: tune cache: %w", spec.Name, err)
+				return nil, nil, fmt.Errorf("serve: load %q: tune cache: %w", spec.Name, err)
 			}
 		}
+	}
+	return m, store, nil
+}
+
+// Load builds the instance described by spec: construct the graph,
+// initialize (or restore) the weights, flip to inference mode, and warm
+// the arena with one full-batch forward pass so steady-state serving
+// allocates nothing.
+func Load(spec Spec) (*Instance, error) {
+	maxBatch := spec.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 8
+	}
+	m, store, err := Materialize(spec)
+	if err != nil {
+		return nil, err
 	}
 
 	var ex *graph.Executor

@@ -1,0 +1,31 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FingerprintFile returns a short hex digest (first 8 bytes of SHA-256)
+// of a snapshot file's raw bytes. The distributed serving layer folds it
+// into the model signature so a router and its shard workers prove they
+// restored identical weights before exchanging halo rows — a worker on
+// stale weights would otherwise silently corrupt every gang it joins.
+// An empty path fingerprints "the absence of a snapshot" as "".
+func FingerprintFile(path string) (string, error) {
+	if path == "" {
+		return "", nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: fingerprint: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("snapshot: fingerprint %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8]), nil
+}
