@@ -12,10 +12,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"splitcnn/internal/distserve"
+	"splitcnn/internal/report"
 	"splitcnn/internal/serve"
 	"splitcnn/internal/trace"
 )
@@ -69,7 +72,8 @@ func cmdRouter(args []string) error {
 	retries := fs.Int("retries", 2, "gang re-dispatch attempts after a worker failure")
 	logJSON := fs.Bool("logjson", false, "emit request/lifecycle logs as JSON instead of text")
 	traceSample := fs.Float64("tracesample", 0, "fraction of requests recording wall-clock stage spans (0 disables /tracez)")
-	smoke := fs.Bool("smoke", false, "self-test: spawn loopback workers, verify bit-identity with single-process serve plus crash recovery, exit")
+	slo := fs.String("slo", "", `latency/error SLO publishing burn-rate gauges on /metricsz, e.g. "p99=50ms,err=0.1%"`)
+	smoke := fs.Bool("smoke", false, "self-test: spawn loopback workers, verify bit-identity with single-process serve plus crash recovery and a federated observability pass, exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +85,9 @@ func cmdRouter(args []string) error {
 		*timeout = 30 * time.Second
 		if *traceSample <= 0 {
 			*traceSample = 1
+		}
+		if *slo == "" {
+			*slo = "p99=500ms,err=1%"
 		}
 	}
 	spec, err := sf.spec()
@@ -123,6 +130,7 @@ func cmdRouter(args []string) error {
 		Metrics:        trace.NewMetrics(),
 		Logger:         logger,
 		TraceSample:    *traceSample,
+		SLO:            *slo,
 	})
 	if err != nil {
 		return err
@@ -220,6 +228,9 @@ func routerSmoke(rt *distserve.Router, spec serve.Spec, base string, workers []*
 	if pr.BatchSize < 2 {
 		return fmt.Errorf("smoke: answered by %d shards, want a real gang", pr.BatchSize)
 	}
+	if err := smokeObservability(rt, base, workers, pr.BatchSize, predict); err != nil {
+		return err
+	}
 
 	// Kill one worker; the fleet must keep answering bit-identically.
 	workers[0].Close()
@@ -254,5 +265,131 @@ func routerSmoke(rt *distserve.Router, spec serve.Spec, base string, workers []*
 	}
 	fmt.Printf("dist smoke ok: %d workers, %d shards/request, argmax %d, bit-identical to single-process serve (incl. after 1 worker kill)\n",
 		len(workers), pr.BatchSize, pr.Argmax)
+	return nil
+}
+
+// smokeObservability exercises the cluster observability plane against
+// the live full-strength fleet: /clusterz federation is scraped
+// mid-load (per-worker series must be present and the rollups
+// consistent), the post-drain rollups must match the per-worker
+// registries exactly, /tracez must hold a stitched multi-process
+// timeline whose plotted critical path equals the measured request
+// span, and the SLO burn-rate gauges must be published.
+func smokeObservability(rt *distserve.Router, base string, workers []*distserve.Worker, gang int, predict func() (serve.PredictResponse, error)) error {
+	// Background load keeps the gang busy while /clusterz is scraped.
+	stop := make(chan struct{})
+	var lwg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		lwg.Add(1)
+		go func() {
+			defer lwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if _, err := predict(); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	get := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return string(b), err
+	}
+	prom, promErr := get("/clusterz?format=prom")
+	close(stop)
+	lwg.Wait()
+	if promErr != nil {
+		return fmt.Errorf("smoke: /clusterz scrape: %w", promErr)
+	}
+	for _, w := range workers {
+		series := fmt.Sprintf("dist_worker_requests{worker=%q}", w.Addr())
+		if !strings.Contains(prom, series) {
+			return fmt.Errorf("smoke: /clusterz missing per-worker series %s", series)
+		}
+	}
+	for _, want := range []string{"cluster_requests_consistent 1", "cluster_gang_occupancy", "cluster_straggler_p99"} {
+		if !strings.Contains(prom, want) {
+			return fmt.Errorf("smoke: mid-load /clusterz missing %q", want)
+		}
+	}
+
+	// Post-drain the rollups must equal the per-worker registries.
+	body, err := get("/clusterz?format=json")
+	if err != nil {
+		return fmt.Errorf("smoke: /clusterz json: %w", err)
+	}
+	var view struct {
+		Workers map[string]trace.Snapshot `json:"workers"`
+		Cluster trace.Snapshot            `json:"cluster"`
+	}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		return fmt.Errorf("smoke: /clusterz json decode: %w", err)
+	}
+	var sumReq int64
+	for _, snap := range view.Workers {
+		sumReq += snap.Counters["dist.worker.requests"]
+	}
+	total := int64(view.Cluster.Gauges["cluster.worker_requests_total"])
+	dispatched := int64(view.Cluster.Gauges["cluster.router_dispatches_total"])
+	if sumReq != total || total != dispatched || view.Cluster.Gauges["cluster.requests_consistent"] != 1 {
+		return fmt.Errorf("smoke: rollup inconsistency: sum(worker requests)=%d, cluster total=%d, router dispatched=%d",
+			sumReq, total, dispatched)
+	}
+
+	// Cross-process stitching: /tracez must carry one unified timeline —
+	// the router row plus every shard's — that survives the report
+	// layer's critical-path self-verification. The export lands just
+	// after the HTTP response, so poll briefly.
+	var sum report.DistSummary
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		raw, err := get("/tracez")
+		if err != nil {
+			return fmt.Errorf("smoke: /tracez: %w", err)
+		}
+		var events []trace.Event
+		if err := json.Unmarshal([]byte(raw), &events); err != nil {
+			return fmt.Errorf("smoke: /tracez decode: %w", err)
+		}
+		if _, s, err := report.DistReport("smoke", events, ""); err == nil {
+			sum = s
+			if s.Processes == gang+1 && s.Verify() == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke: no stitched %d-process trace on /tracez (last: %d processes, %d spans)",
+				gang+1, sum.Processes, sum.Spans)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := rt.Metrics().Counter("dist.stitch_errors").Value(); n != 0 {
+		return fmt.Errorf("smoke: dist.stitch_errors = %d, want 0", n)
+	}
+
+	// SLO burn-rate gauges ride /metricsz.
+	metz, err := get("/metricsz")
+	if err != nil {
+		return fmt.Errorf("smoke: /metricsz: %w", err)
+	}
+	for _, want := range []string{"slo.latency_burn_5m", "slo.error_burn_1h", "dist.clock_skew_seconds"} {
+		if !strings.Contains(metz, want) {
+			return fmt.Errorf("smoke: /metricsz missing %q", want)
+		}
+	}
+	fmt.Printf("observability ok: stitched request %s (%d processes, critical path %s), rollups consistent over %d workers\n",
+		sum.Request, sum.Processes, report.HumanSeconds(sum.PlottedSeconds), len(view.Workers))
 	return nil
 }

@@ -25,7 +25,8 @@
 //	    render a self-contained HTML/SVG memory-occupancy-vs-time
 //	    report, one chart per HMMS memory pool; -train run.jsonl
 //	    renders the training page (loss, grad norms, step time) from a
-//	    steplog stream instead
+//	    steplog stream instead; -dist <trace.json|router URL> renders
+//	    the stitched distributed gang timeline for one request
 //	splitcnn compile   -arch vgg19 [-plan] [-o plan.html]
 //	    lower a model through graph.Compile (inference fusion + static
 //	    memory plan) and dump the plan; verifies plotted peak == slab
@@ -38,7 +39,10 @@
 //	splitcnn worker    -addr :9090 -arch vgg19 -snapshot w.snap [-maxpods 4]
 //	    distributed split-inference shard worker (RPC)
 //	splitcnn router    -addr :8080 -workers host:9090,host:9091 [-smoke]
-//	    health-checked router scattering spatial shards across workers
+//	    health-checked router scattering spatial shards across workers;
+//	    federates worker metrics on /clusterz, stitches cross-process
+//	    request traces on /tracez, and publishes SLO burn-rate gauges
+//	    (-slo "p99=50ms,err=0.1%")
 //	splitcnn loadtest  -spawn -c 16 -n 512 [-target URL] [-spawnworkers 4]
 //	    closed-loop concurrent load test against a serve or router
 //	    endpoint
@@ -134,8 +138,10 @@ subcommands:
                     JSON for chrome://tracing) plus a metrics JSON
   report            render a self-contained HTML/SVG memory-occupancy
                     report, one chart per HMMS memory pool (-measured
-                    to time real kernels via internal/profile), or the
-                    training page from a steplog (-train run.jsonl)
+                    to time real kernels via internal/profile), the
+                    training page from a steplog (-train run.jsonl), or
+                    the distributed gang timeline for one stitched
+                    request (-dist trace.json or -dist http://router)
   compile           lower a model through graph.Compile and dump the
                     rewrite stats + static memory plan (-plan for the
                     per-node table, -o for the HTML slab timeline);
@@ -152,9 +158,13 @@ subcommands:
                     stage and serves Shard.{Eval,Halo,Health} over RPC
   router            health-checked front end over shard workers: spatial
                     scatter/gather with halo exchange, least-loaded gang
-                    dispatch, whole-gang retry on worker failure
-                    (-spawn N for a loopback fleet, -smoke for the CI
-                    bit-identity + crash-recovery self-test)
+                    dispatch, whole-gang retry on worker failure;
+                    observability plane federates worker metrics on
+                    /clusterz, stitches skew-corrected cross-process
+                    traces on /tracez and publishes -slo burn-rate
+                    gauges (-spawn N for a loopback fleet, -smoke for
+                    the CI bit-identity + crash-recovery +
+                    observability self-test)
   loadtest          closed-loop concurrent client for a serve or router
                     endpoint (-spawn to self-host, -spawnworkers N for a
                     loopback distributed fleet, -target URL for a remote

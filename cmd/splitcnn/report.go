@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
 	"os"
+	"strings"
 
 	"splitcnn/internal/core"
 	"splitcnn/internal/hmms"
@@ -59,12 +64,17 @@ func cmdReport(args []string) error {
 	out := fs.String("o", "report.html", "report output file")
 	metricsOut := fs.String("metrics", "", "also write the run's metrics JSON here")
 	trainLog := fs.String("train", "", "render a training report from this steplog JSONL (from `splitcnn train -steplog`) instead of a memory timeline")
+	distTrace := fs.String("dist", "", "render a distributed gang timeline from this trace file or router URL (its /tracez) instead of a memory timeline")
+	distReq := fs.String("req", "", "request ID to render (with -dist; default: the request with the most spans)")
 	dev := deviceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *trainLog != "" {
 		return trainReport(*trainLog, *out)
+	}
+	if *distTrace != "" {
+		return distReport(*distTrace, *distReq, *out)
 	}
 	d, err := pickDevice(*dev)
 	if err != nil {
@@ -191,5 +201,62 @@ func trainReport(logPath, out string) error {
 	}
 	fmt.Printf("steplog:     %s (%d steps, %d epochs)\n", logPath, len(steps), len(epochs))
 	fmt.Printf("report:      %s (%d charts)\n", out, len(data.Charts))
+	return nil
+}
+
+// distReport renders the stitched gang timeline for one distributed
+// request from a Chrome trace export — a file written by `-traceout`,
+// or a live router's /tracez:
+//
+//	splitcnn report -dist http://127.0.0.1:8080 -o gang.html
+//
+// Mirroring the memory reports' plotted-vs-gauge cross-check, the
+// command refuses to write a page whose plotted critical path disagrees
+// with the measured request span.
+func distReport(src, reqID, out string) error {
+	var raw []byte
+	var err error
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		url := src
+		if u, perr := neturl.Parse(src); perr == nil && (u.Path == "" || u.Path == "/") {
+			url = strings.TrimSuffix(src, "/") + "/tracez"
+		}
+		resp, herr := http.Get(url)
+		if herr != nil {
+			return fmt.Errorf("report: fetching %s: %w", url, herr)
+		}
+		raw, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("report: %s returned status %d", url, resp.StatusCode)
+		}
+	} else {
+		raw, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return err
+	}
+	var events []trace.Event
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return fmt.Errorf("report: %s is not a Chrome trace_event export: %w", src, err)
+	}
+
+	data, sum, err := report.DistReport(fmt.Sprintf("gang timeline · %s", src), events, reqID)
+	if err != nil {
+		return err
+	}
+	// Self-verification: the router lane is a gap-free decomposition of
+	// the request span, so the plotted segments must sum to the measured
+	// request duration.
+	if err := sum.Verify(); err != nil {
+		return err
+	}
+	if err := report.WriteFile(out, data); err != nil {
+		return err
+	}
+	fmt.Printf("request:       %s (%d processes, %d spans)\n", sum.Request, sum.Processes, sum.Spans)
+	fmt.Printf("critical path: %s plotted == %s measured\n",
+		report.HumanSeconds(sum.PlottedSeconds), report.HumanSeconds(sum.RequestSeconds))
+	fmt.Printf("report:        %s\n", out)
 	return nil
 }

@@ -451,10 +451,23 @@ func cmdLoadtest(args []string) error {
 		base, len(lat), errs, *conc, wall.Seconds())
 	fmt.Printf("throughput %.1f img/s, latency mean %.2fms p50 %.2fms p99 %.2fms, mean batch %.2f\n",
 		throughput, ms(mean), ms(p50), ms(p99), avgBatch)
+	// When the target is a distributed router, record the fleet shape in
+	// the benchmark metadata: worker count from its /v1/workers and the
+	// gang size (mean shards answering per request — the response
+	// BatchSize on the distributed path). Single-process servers have no
+	// /v1/workers and emit the classic line.
+	fleet := ""
+	if resp, err := http.Get(base + "/v1/workers"); err == nil {
+		var ws []json.RawMessage
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&ws) == nil && len(ws) > 0 {
+			fleet = fmt.Sprintf(" %8d workers %8.2f gang-size", len(ws), avgBatch)
+		}
+		resp.Body.Close()
+	}
 	// A `go test -bench`-shaped line, so the run can be appended to the
 	// benchmark log: splitcnn loadtest ... | benchjson -o BENCH_serve.json
-	fmt.Printf("Benchmark%s %8d %12.0f ns/op %12.1f img/s %10.3f p99-ms %8.2f avg-batch\n",
-		*benchName, len(lat), float64(mean.Nanoseconds()), throughput, ms(p99), avgBatch)
+	fmt.Printf("Benchmark%s %8d %12.0f ns/op %12.1f img/s %10.3f p99-ms %8.2f avg-batch%s\n",
+		*benchName, len(lat), float64(mean.Nanoseconds()), throughput, ms(p99), avgBatch, fleet)
 	if errs > 0 {
 		return fmt.Errorf("loadtest: %d of %d requests failed", errs, *total)
 	}

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"errors"
+	"time"
+)
+
+// Clock-skew estimation for cross-process trace stitching. Workers
+// timestamp their spans with their own wall clocks; to lay those spans
+// on the router's timeline the router needs each worker's offset. The
+// estimator is the NTP client trick reduced to its core: probe the
+// remote clock several times, keep the minimum-RTT sample (the one
+// least polluted by queueing), and read the offset as the remote
+// timestamp minus the midpoint of the local send/receive pair. The
+// residual uncertainty is bounded by half that best RTT — the remote
+// read happened *somewhere* inside the round trip.
+
+// SkewEstimate is one measurement of a remote clock.
+type SkewEstimate struct {
+	// Offset is remote − local: add it to a local timestamp to express
+	// it on the remote clock, subtract it from a remote timestamp to
+	// pull it onto the local clock.
+	Offset time.Duration
+	// RTT is the round-trip time of the best (minimum-RTT) probe. The
+	// offset's uncertainty is at most RTT/2.
+	RTT time.Duration
+}
+
+// Uncertainty bounds how far the estimated offset can be from truth.
+func (s SkewEstimate) Uncertainty() time.Duration { return s.RTT / 2 }
+
+// EstimateSkew probes the remote clock `probes` times via ping — a
+// closure that reads the remote wall clock (an RPC round trip) — and
+// returns the minimum-RTT estimate. At least one probe must succeed;
+// individual probe errors are tolerated as long as one lands, so a
+// single dropped packet doesn't void the refresh.
+func EstimateSkew(probes int, ping func() (time.Time, error)) (SkewEstimate, error) {
+	if probes < 1 {
+		probes = 1
+	}
+	best := SkewEstimate{RTT: -1}
+	var lastErr error
+	for i := 0; i < probes; i++ {
+		t0 := time.Now()
+		remote, err := ping()
+		t1 := time.Now()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rtt := t1.Sub(t0)
+		if rtt < 0 {
+			// Local clock stepped backwards mid-probe; unusable sample.
+			continue
+		}
+		if best.RTT < 0 || rtt < best.RTT {
+			mid := t0.Add(rtt / 2)
+			best = SkewEstimate{Offset: remote.Sub(mid), RTT: rtt}
+		}
+	}
+	if best.RTT < 0 {
+		if lastErr == nil {
+			lastErr = errors.New("dist: no usable clock probe")
+		}
+		return SkewEstimate{}, lastErr
+	}
+	return best, nil
+}

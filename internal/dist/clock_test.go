@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEstimateSkewRecoversSyntheticOffset(t *testing.T) {
+	// A remote clock running exactly 1h ahead, read with a small fake
+	// service delay: the estimate must land within RTT/2 of the truth.
+	const skew = time.Hour
+	ping := func() (time.Time, error) {
+		time.Sleep(200 * time.Microsecond) // request leg
+		remote := time.Now().Add(skew)
+		time.Sleep(200 * time.Microsecond) // response leg
+		return remote, nil
+	}
+	est, err := EstimateSkew(5, ping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RTT <= 0 {
+		t.Fatalf("RTT = %v, want > 0", est.RTT)
+	}
+	diff := est.Offset - skew
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > est.Uncertainty()+time.Millisecond {
+		t.Fatalf("offset error %v exceeds uncertainty %v", diff, est.Uncertainty())
+	}
+}
+
+func TestEstimateSkewNegativeOffset(t *testing.T) {
+	const skew = -30 * time.Minute
+	est, err := EstimateSkew(3, func() (time.Time, error) {
+		return time.Now().Add(skew), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := est.Offset - skew
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > est.Uncertainty()+time.Millisecond {
+		t.Fatalf("offset error %v exceeds uncertainty %v", diff, est.Uncertainty())
+	}
+}
+
+func TestEstimateSkewKeepsMinRTTSample(t *testing.T) {
+	// Probes alternate between a clean path and one with heavy queueing
+	// delay on the response leg (which biases the midpoint); the
+	// min-RTT rule must pick the clean sample.
+	i := 0
+	est, err := EstimateSkew(6, func() (time.Time, error) {
+		i++
+		remote := time.Now()
+		if i%2 == 0 {
+			time.Sleep(5 * time.Millisecond) // asymmetric response delay
+		}
+		return remote, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RTT >= 5*time.Millisecond {
+		t.Fatalf("kept a queued sample: RTT = %v", est.RTT)
+	}
+	diff := est.Offset
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > est.Uncertainty()+time.Millisecond {
+		t.Fatalf("offset %v exceeds uncertainty %v", est.Offset, est.Uncertainty())
+	}
+}
+
+func TestEstimateSkewToleratesPartialFailure(t *testing.T) {
+	i := 0
+	est, err := EstimateSkew(4, func() (time.Time, error) {
+		i++
+		if i < 4 {
+			return time.Time{}, errors.New("transient")
+		}
+		return time.Now(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RTT < 0 {
+		t.Fatal("no sample kept")
+	}
+
+	if _, err := EstimateSkew(3, func() (time.Time, error) {
+		return time.Time{}, errors.New("down")
+	}); err == nil {
+		t.Fatal("want error when every probe fails")
+	}
+}

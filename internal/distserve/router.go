@@ -59,9 +59,18 @@ type RouterOptions struct {
 	// Logger receives request/lifecycle logs (nil discards).
 	Logger *slog.Logger
 	// TraceSample in (0,1] samples request-scoped wall spans
-	// (scatter/shard/gather/tail), exposed at /tracez.
+	// (scatter/shard/gather/tail), exposed at /tracez. Sampled requests
+	// additionally harvest worker-side spans into one stitched,
+	// skew-corrected timeline with a row per process.
 	TraceSample float64
 	TraceSeed   int64
+	// SLO declares latency/error objectives in flag syntax
+	// ("p99=50ms,err=0.1%"); when set, multi-window burn-rate gauges
+	// (slo.*) appear on /metricsz. Empty = no SLO tracking.
+	SLO string
+	// ClockProbes is how many Shard.Clock round trips each skew refresh
+	// uses (default 3; the min-RTT sample wins).
+	ClockProbes int
 }
 
 // workerState is the router's view of one replica.
@@ -73,6 +82,18 @@ type workerState struct {
 	inflight atomic.Int64
 	lastErr  string
 	ejected  time.Time
+	// dispatched counts Eval RPCs this worker accepted past its
+	// capacity gate (success or handled non-capacity error) — the
+	// router-side mirror of the worker's dist.worker.requests counter,
+	// compared by the /clusterz consistency rollup.
+	dispatched atomic.Uint64
+	// build is the worker's binary identity from its last health reply.
+	build buildinfo.Info
+	// skew/skewRTT: latest clock-skew estimate (worker − router) and
+	// the min-RTT it rode in on; skewOK gates stitching on having one.
+	skew    time.Duration
+	skewRTT time.Duration
+	skewOK  bool
 }
 
 // WorkerInfo is one /v1/workers entry.
@@ -82,6 +103,13 @@ type WorkerInfo struct {
 	InFlight int    `json:"in_flight"`
 	MaxPods  int    `json:"max_pods"`
 	LastErr  string `json:"last_err,omitempty"`
+	// Build is the worker's binary identity (version/commit), so a
+	// mixed-version gang is visible at a glance.
+	Build *buildinfo.Info `json:"build,omitempty"`
+	// ClockSkewSeconds / ClockRTTSeconds: latest skew estimate.
+	ClockSkewSeconds float64 `json:"clock_skew_seconds"`
+	ClockRTTSeconds  float64 `json:"clock_rtt_seconds"`
+	Dispatched       uint64  `json:"dispatched"`
 }
 
 // Router fronts a pool of shard workers: health-checked membership with
@@ -103,6 +131,7 @@ type Router struct {
 	met    *trace.Metrics
 	log    *slog.Logger
 	tracer *trace.WallTracer
+	slo    *trace.SLOTracker
 
 	mu      sync.Mutex
 	workers []*workerState
@@ -189,6 +218,13 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		}
 		rt.tracer = trace.NewWallTracer(opts.TraceSample, seed)
 	}
+	if opts.SLO != "" {
+		slo, err := trace.ParseSLO(opts.SLO)
+		if err != nil {
+			return nil, err
+		}
+		rt.slo = trace.NewSLOTracker(slo)
+	}
 	for i := 0; i < opts.TailExecutors; i++ {
 		ex, err := graph.NewExecutor(m.Graph, store)
 		if err != nil {
@@ -207,6 +243,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/metricsz", rt.handleMetricsz)
 	mux.HandleFunc("/tracez", rt.handleTracez)
+	mux.HandleFunc("/clusterz", rt.handleClusterz)
 	rt.http = &http.Server{Handler: mux}
 	return rt, nil
 }
@@ -292,6 +329,11 @@ func (rt *Router) checkOne(ws *workerState) {
 	if err == nil && hr.Model != rt.sig {
 		err = fmt.Errorf("model signature mismatch (worker runs a different model or weights)")
 	}
+	var est dist.SkewEstimate
+	estOK := false
+	if err == nil {
+		est, estOK = rt.probeClock(ws.addr)
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if err != nil {
@@ -308,11 +350,34 @@ func (rt *Router) checkOne(ws *workerState) {
 	ws.fails = 0
 	ws.maxPods = hr.MaxPods
 	ws.lastErr = ""
+	ws.build = hr.Build
+	if estOK {
+		ws.skew, ws.skewRTT, ws.skewOK = est.Offset, est.RTT, true
+		rt.met.Gauge("dist.clock_skew_seconds." + ws.addr).Set(est.Offset.Seconds())
+		rt.met.Gauge("dist.clock_rtt_seconds." + ws.addr).Set(est.RTT.Seconds())
+	}
 	if !ws.healthy {
 		ws.healthy = true
 		rt.met.Counter("dist.readmissions").Add(1)
 		rt.log.Info("dist.router.readmit", "worker", ws.addr)
 	}
+}
+
+// probeClock refreshes one worker's clock-skew estimate: ClockProbes
+// Shard.Clock round trips, min-RTT sample wins (dist.EstimateSkew).
+func (rt *Router) probeClock(addr string) (dist.SkewEstimate, bool) {
+	probes := rt.opts.ClockProbes
+	if probes <= 0 {
+		probes = 3
+	}
+	est, err := dist.EstimateSkew(probes, func() (time.Time, error) {
+		var cr ClockReply
+		if err := rt.pool.Call(addr, "Shard.Clock", &ClockArgs{}, &cr, rt.opts.HealthInterval); err != nil {
+			return time.Time{}, err
+		}
+		return time.Unix(0, cr.UnixNano), nil
+	})
+	return est, err == nil
 }
 
 // ejectNow immediately marks a worker unhealthy after a dispatch-path
@@ -373,9 +438,16 @@ func (rt *Router) releaseGang(gang []*workerState) {
 // attempt ID) on the remaining healthy replicas until Retries or the
 // deadline is exhausted.
 func (rt *Router) Predict(image []float32, deadline time.Time, sc *trace.SpanContext) ([]float32, int, error) {
+	logits, shards, _, err := rt.predict(image, deadline, sc)
+	return logits, shards, err
+}
+
+// predict is Predict plus the harvested worker spans of the winning
+// attempt (nil when unsampled or tracing is off).
+func (rt *Router) predict(image []float32, deadline time.Time, sc *trace.SpanContext) ([]float32, int, []ProcessSpans, error) {
 	want := bandLen(rt.plan.InC, rt.plan.InH, rt.plan.InW)
 	if len(image) != want {
-		return nil, 0, fmt.Errorf("distserve: image has %d values, want %d", len(image), want)
+		return nil, 0, nil, fmt.Errorf("distserve: image has %d values, want %d", len(image), want)
 	}
 	full := tensor.New(1, rt.plan.InC, rt.plan.InH, rt.plan.InW)
 	copy(full.Data(), image)
@@ -394,14 +466,14 @@ func (rt *Router) Predict(image []float32, deadline time.Time, sc *trace.SpanCon
 			if lastErr != nil {
 				// Capacity vanished because we just ejected the fleet's
 				// only replicas; surface the underlying failure.
-				return nil, 0, lastErr
+				return nil, 0, nil, lastErr
 			}
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
-		logits, err := rt.attempt(full, fmt.Sprintf("%s/a%d", base, attempt), gang, deadline, sc)
+		logits, procs, err := rt.attempt(full, fmt.Sprintf("%s/a%d", base, attempt), attempt, gang, deadline, sc)
 		rt.releaseGang(gang)
 		if err == nil {
-			return logits, len(gang), nil
+			return logits, len(gang), procs, nil
 		}
 		lastErr = err
 		rt.log.Warn("dist.router.attempt_failed", "req", base, "attempt", attempt, "err", err)
@@ -412,20 +484,25 @@ func (rt *Router) Predict(image []float32, deadline time.Time, sc *trace.SpanCon
 	if time.Until(deadline) <= 0 {
 		lastErr = fmt.Errorf("%w (last error: %v)", ErrDeadline, lastErr)
 	}
-	return nil, 0, lastErr
+	return nil, 0, nil, lastErr
 }
 
 // attempt dispatches one gang-wide evaluation and finishes the tail.
-func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState, deadline time.Time, sc *trace.SpanContext) ([]float32, error) {
+func (rt *Router) attempt(full *tensor.Tensor, reqID string, attemptNo int, gang []*workerState, deadline time.Time, sc *trace.SpanContext) ([]float32, []ProcessSpans, error) {
 	n := len(gang)
 	owners := rt.plan.Owners(n)
 	addrs := make([]string, n)
 	for i, ws := range gang {
 		addrs[i] = ws.addr
 	}
+	tc := TraceContext{Attempt: attemptNo}
+	if sc != nil {
+		tc = TraceContext{ID: sc.ID(), Sampled: true, Parent: scatterSpanName, Attempt: attemptNo}
+	}
 	scatterStart := time.Now()
 	replies := make([]EvalReply, n)
 	errs := make([]error, n)
+	durs := make([]time.Duration, n)
 	var wg sync.WaitGroup
 	for i := range gang {
 		wg.Add(1)
@@ -437,11 +514,14 @@ func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState
 				Shard: i, Gang: addrs,
 				TimeoutMs: time.Until(deadline).Milliseconds(),
 				RowLo:     imgR.Lo, RowHi: imgR.Hi,
+				Trace: tc,
 			}
 			if !imgR.Empty() {
 				args.Rows = SliceRows(full, 0, imgR).Data()
 			}
+			t0 := time.Now()
 			errs[i] = rt.pool.Call(addrs[i], "Shard.Eval", args, &replies[i], time.Until(deadline))
+			durs[i] = time.Since(t0)
 		}(i)
 	}
 	wg.Wait()
@@ -454,6 +534,11 @@ func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState
 	var firstErr error
 	for i, err := range errs {
 		if err == nil {
+			// The worker accepted and completed the eval: mirror its
+			// dist.worker.requests increment for the /clusterz
+			// consistency rollup.
+			gang[i].dispatched.Add(1)
+			rt.met.Counter("dist.dispatches").Add(1)
 			continue
 		}
 		var se rpc.ServerError
@@ -461,6 +546,10 @@ func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState
 			// The worker handled the call and said no (capacity, model
 			// mismatch, internal error): not a liveness signal.
 			if !strings.Contains(err.Error(), capacityPrefix) {
+				// Non-capacity handled errors passed the worker's
+				// capacity gate and were counted there too.
+				gang[i].dispatched.Add(1)
+				rt.met.Counter("dist.dispatches").Add(1)
 				rt.met.Counter("dist.shard_errors").Add(1)
 			}
 		} else {
@@ -471,8 +560,9 @@ func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
+	rt.observeStraggler(durs)
 
 	// Gather: stitch the final-stage bands into one feature map.
 	gatherStart := time.Now()
@@ -482,13 +572,13 @@ func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState
 	for i := range replies {
 		r := Range{replies[i].RowLo, replies[i].RowHi}
 		if r != owners[len(rt.plan.Stages)-1][i] {
-			return nil, fmt.Errorf("distserve: shard %d returned band %v, plan assigns %v", i, r, owners[len(rt.plan.Stages)-1][i])
+			return nil, nil, fmt.Errorf("distserve: shard %d returned band %v, plan assigns %v", i, r, owners[len(rt.plan.Stages)-1][i])
 		}
 		if r.Empty() {
 			continue
 		}
 		if len(replies[i].Data) != bandLen(last.OutC, r.Len(), last.OutW) {
-			return nil, fmt.Errorf("distserve: shard %d band %v has %d floats", i, r, len(replies[i].Data))
+			return nil, nil, fmt.Errorf("distserve: shard %d band %v has %d floats", i, r, len(replies[i].Data))
 		}
 		band := tensor.New(1, last.OutC, r.Len(), last.OutW)
 		copy(band.Data(), replies[i].Data)
@@ -496,7 +586,7 @@ func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState
 		covered += r.Len()
 	}
 	if covered != last.OutH {
-		return nil, fmt.Errorf("distserve: gathered %d of %d rows of %s", covered, last.OutH, last.Name)
+		return nil, nil, fmt.Errorf("distserve: gathered %d of %d rows of %s", covered, last.OutH, last.Name)
 	}
 	sc.Record("gather", gatherStart, time.Now())
 
@@ -506,7 +596,7 @@ func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState
 	select {
 	case te = <-rt.tails:
 	case <-time.After(time.Until(deadline)):
-		return nil, ErrDeadline
+		return nil, nil, ErrDeadline
 	}
 	outs, err := te.ex.ForwardFrom(te.feeds, map[string]*tensor.Tensor{rt.plan.Tail: fm})
 	var logits []float32
@@ -516,9 +606,102 @@ func (rt *Router) attempt(full *tensor.Tensor, reqID string, gang []*workerState
 	rt.tails <- te
 	sc.Record("tail", tailStart, time.Now())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return logits, nil
+	var procs []ProcessSpans
+	if tc.Sampled {
+		procs = rt.harvestSpans(reqID, gang)
+	}
+	return logits, procs, nil
+}
+
+// observeStraggler feeds the per-shard forward histograms: every
+// shard's Eval round trip, plus the attempt's straggler ratio
+// (slowest / median shard time) — the per-request number that says
+// whether the gang is balanced or one member drags the tail.
+func (rt *Router) observeStraggler(durs []time.Duration) {
+	for _, d := range durs {
+		rt.met.Histogram("dist.shard_forward_seconds", trace.LatencyBuckets).Observe(d.Seconds())
+	}
+	if len(durs) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return
+	}
+	ratio := float64(sorted[len(sorted)-1]) / float64(median)
+	rt.met.Histogram("dist.straggler_ratio", stragglerBuckets).Observe(ratio)
+}
+
+// stragglerBuckets resolve ratios near 1 finely (a balanced gang) and
+// still distinguish 2× from 10× stragglers.
+var stragglerBuckets = []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}
+
+// harvestSpans collects the gang's banked stage spans for one sampled
+// attempt (Shard.Spans, fan-out) and pairs each reply with the
+// worker's latest clock-skew estimate. Workers without a skew estimate
+// yet are skipped — an uncorrected row would be worse than a missing
+// one. Harvest failures only cost timeline rows, never the request.
+func (rt *Router) harvestSpans(reqID string, gang []*workerState) []ProcessSpans {
+	replies := make([]SpansReply, len(gang))
+	errs := make([]error, len(gang))
+	var wg sync.WaitGroup
+	for i, ws := range gang {
+		wg.Add(1)
+		go func(i int, ws *workerState) {
+			defer wg.Done()
+			errs[i] = rt.pool.Call(ws.addr, "Shard.Spans", &SpansArgs{ReqID: reqID}, &replies[i], time.Second)
+		}(i, ws)
+	}
+	wg.Wait()
+	var procs []ProcessSpans
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, ws := range gang {
+		if errs[i] != nil || !replies[i].Found {
+			rt.met.Counter("dist.span_harvest_misses").Add(1)
+			continue
+		}
+		if !ws.skewOK {
+			rt.met.Counter("dist.span_harvest_misses").Add(1)
+			continue
+		}
+		procs = append(procs, ProcessSpans{
+			Process:       fmt.Sprintf("shard%d %s", replies[i].Shard, ws.addr),
+			Skew:          ws.skew,
+			Uncertainty:   ws.skewRTT / 2,
+			DefaultParent: scatterSpanName,
+			Spans:         replies[i].Spans,
+		})
+	}
+	return procs
+}
+
+// recordStitched verifies and exports one sampled request's stitched
+// timeline: router spans on the "router" row, each worker's harvested
+// spans (already skew-corrected by Stitch) on a "shard<i> <addr>" row.
+// Verification failures increment dist.stitch_errors but still export —
+// a broken timeline you can look at beats a silently missing one.
+func (rt *Router) recordStitched(sc *trace.SpanContext, procs []ProcessSpans) {
+	if sc == nil || rt.tracer == nil {
+		return
+	}
+	var spans []StitchedSpan
+	for _, s := range sc.Spans() {
+		spans = append(spans, StitchedSpan{
+			Process: "router", Name: s.Name, Parent: routerSpanParents[s.Name],
+			Start: s.Start, End: s.End,
+		})
+	}
+	spans = append(spans, Stitch(procs)...)
+	if err := VerifyStitched(spans); err != nil {
+		rt.met.Counter("dist.stitch_errors").Add(1)
+		rt.log.Warn("dist.router.stitch_error", "req", sc.ID(), "err", err)
+	}
+	ExportStitched(rt.tracer, sc.ID(), spans)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -550,6 +733,7 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 	rt.met.Counter("dist.requests").Add(1)
 	status := 0
 	defer func() {
+		rt.slo.Observe(time.Since(start), status >= 500)
 		rt.log.Info("request", "id", id, "status", status,
 			"latency_us", time.Since(start).Microseconds())
 	}()
@@ -572,7 +756,7 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	deadline := start.Add(timeout)
 	sc.Record("admit", start, time.Now())
-	logits, shards, err := rt.Predict(req.Image, deadline, sc)
+	logits, shards, procs, err := rt.predict(req.Image, deadline, sc)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrNoCapacity):
@@ -604,7 +788,11 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 		LatencyUs: lat.Microseconds(),
 	})
 	sc.Record("respond", respondStart, time.Now())
-	rt.tracer.Finish(sc)
+	// The request root closes the span tree; recordStitched (not
+	// Finish) exports sampled requests so worker rows land on the same
+	// timeline.
+	sc.Record("request", start, time.Now())
+	rt.recordStitched(sc, procs)
 }
 
 func (rt *Router) handleModels(w http.ResponseWriter, _ *http.Request) {
@@ -620,11 +808,21 @@ func (rt *Router) handleWorkers(w http.ResponseWriter, _ *http.Request) {
 	rt.mu.Lock()
 	infos := make([]WorkerInfo, 0, len(rt.workers))
 	for _, ws := range rt.workers {
-		infos = append(infos, WorkerInfo{
+		info := WorkerInfo{
 			Addr: ws.addr, Healthy: ws.healthy,
 			InFlight: int(ws.inflight.Load()), MaxPods: ws.maxPods,
-			LastErr: ws.lastErr,
-		})
+			LastErr:    ws.lastErr,
+			Dispatched: ws.dispatched.Load(),
+		}
+		if ws.build != (buildinfo.Info{}) {
+			b := ws.build
+			info.Build = &b
+		}
+		if ws.skewOK {
+			info.ClockSkewSeconds = ws.skew.Seconds()
+			info.ClockRTTSeconds = ws.skewRTT.Seconds()
+		}
+		infos = append(infos, info)
 	}
 	rt.mu.Unlock()
 	writeJSON(w, http.StatusOK, infos)
@@ -670,6 +868,10 @@ func (rt *Router) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		lat := m.Histogram("serve.latency_seconds", trace.LatencyBuckets)
 		m.Gauge("serve.latency_p50_seconds").Set(lat.Quantile(0.5))
 		m.Gauge("serve.latency_p99_seconds").Set(lat.Quantile(0.99))
+		rt.slo.Publish(m)
+		if rt.tracer != nil {
+			m.Gauge("trace.dropped_spans").Set(float64(rt.tracer.DroppedSpans()))
+		}
 	})(w, r)
 }
 

@@ -1,0 +1,129 @@
+package distserve
+
+import (
+	"sync"
+	"time"
+)
+
+// spanBank holds worker-side stage spans of sampled requests until the
+// router harvests them via Shard.Spans. Entries are keyed by the
+// attempt-scoped ReqID, created on first touch (a neighbor's Halo can
+// land before our own Eval), consumed by take, and bounded two ways:
+// a FIFO capacity (oldest evicted — a router that never harvests can't
+// grow a worker's memory) and an expiry swept by the worker janitor.
+type spanBank struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*bankEntry
+	order   []string
+	evicted int64
+}
+
+type bankEntry struct {
+	shard  int
+	done   bool
+	expiry time.Time
+	spans  []WireSpan
+}
+
+func newSpanBank(capacity int) *spanBank {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &spanBank{cap: capacity, entries: make(map[string]*bankEntry)}
+}
+
+// ensure returns the entry for reqID, creating (and possibly evicting
+// the oldest) as needed. Callers hold b.mu.
+func (b *spanBank) ensure(reqID string, expiry time.Time) *bankEntry {
+	e := b.entries[reqID]
+	if e == nil {
+		if len(b.order) >= b.cap {
+			oldest := b.order[0]
+			b.order = b.order[1:]
+			delete(b.entries, oldest)
+			b.evicted++
+		}
+		e = &bankEntry{shard: -1, expiry: expiry}
+		b.entries[reqID] = e
+		b.order = append(b.order, reqID)
+	}
+	if expiry.After(e.expiry) {
+		e.expiry = expiry
+	}
+	return e
+}
+
+// add banks spans for reqID.
+func (b *spanBank) add(reqID string, expiry time.Time, spans ...WireSpan) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.ensure(reqID, expiry)
+	e.spans = append(e.spans, spans...)
+}
+
+// finish marks reqID's entry harvest-ready and stamps the shard index.
+func (b *spanBank) finish(reqID string, shard int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[reqID]; e != nil {
+		e.shard = shard
+		e.done = true
+	}
+}
+
+// drop discards reqID's entry (failed attempts are never harvested).
+func (b *spanBank) drop(reqID string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.entries[reqID]; ok {
+		delete(b.entries, reqID)
+		b.removeOrder(reqID)
+	}
+}
+
+// take consumes reqID's banked spans if the entry is harvest-ready.
+func (b *spanBank) take(reqID string) (shard int, spans []WireSpan, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[reqID]
+	if e == nil || !e.done {
+		return 0, nil, false
+	}
+	delete(b.entries, reqID)
+	b.removeOrder(reqID)
+	return e.shard, e.spans, true
+}
+
+// sweep drops expired entries; returns how many were dropped.
+func (b *spanBank) sweep(now time.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var kept []string
+	dropped := 0
+	for _, id := range b.order {
+		if e := b.entries[id]; e != nil && now.After(e.expiry) {
+			delete(b.entries, id)
+			dropped++
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	b.order = kept
+	return dropped
+}
+
+func (b *spanBank) removeOrder(reqID string) {
+	for i, id := range b.order {
+		if id == reqID {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (b *spanBank) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}

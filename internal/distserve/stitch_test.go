@@ -1,0 +1,162 @@
+package distserve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"splitcnn/internal/trace"
+)
+
+// mkWire builds a WireSpan on a synthetic clock: base + offsets, in ms.
+func mkWire(name, parent string, base time.Time, startMs, endMs int64) WireSpan {
+	return WireSpan{
+		Name: name, Parent: parent,
+		StartUnixNano: base.Add(time.Duration(startMs) * time.Millisecond).UnixNano(),
+		EndUnixNano:   base.Add(time.Duration(endMs) * time.Millisecond).UnixNano(),
+	}
+}
+
+// TestStitchCorrectsSyntheticSkew is the clock-skew acceptance check:
+// a worker whose clock runs a full hour ahead still stitches into a
+// monotonic, properly nested timeline once its estimated skew is
+// applied — and fails verification when it is not.
+func TestStitchCorrectsSyntheticSkew(t *testing.T) {
+	routerBase := time.Unix(1_000_000, 0)
+	const skew = time.Hour
+	workerBase := routerBase.Add(skew) // worker clock reads 1h ahead
+
+	// Router truth: request [0, 100ms], scatter window [10, 80].
+	router := []StitchedSpan{
+		{Process: "router", Name: "request", Start: routerBase, End: routerBase.Add(100 * time.Millisecond)},
+		{Process: "router", Name: "scatter_gather", Parent: "request",
+			Start: routerBase.Add(10 * time.Millisecond), End: routerBase.Add(80 * time.Millisecond)},
+	}
+	// Worker truth: eval [20, 70] on the router clock, recorded with
+	// the worker's skewed clock.
+	worker := ProcessSpans{
+		Process:       "shard0 w0",
+		Skew:          skew,
+		Uncertainty:   50 * time.Microsecond,
+		DefaultParent: scatterSpanName,
+		Spans: []WireSpan{
+			mkWire("shard_eval", "", workerBase, 20, 70),
+			mkWire("stage:conv1", "shard_eval", workerBase, 21, 40),
+			mkWire("halo_wait:s0", "shard_eval", workerBase, 41, 50),
+		},
+	}
+
+	spans := append(append([]StitchedSpan(nil), router...), Stitch([]ProcessSpans{worker})...)
+	if err := VerifyStitched(spans); err != nil {
+		t.Fatalf("skew-corrected timeline failed verification: %v", err)
+	}
+	// Corrected timestamps sit on the router clock.
+	for _, s := range spans {
+		if s.Name == "shard_eval" {
+			if got, want := s.Start, routerBase.Add(20*time.Millisecond); !got.Equal(want) {
+				t.Fatalf("shard_eval start = %v, want %v", got, want)
+			}
+		}
+	}
+
+	// Without correction the worker spans sit an hour in the future —
+	// verification must reject the timeline.
+	worker.Skew = 0
+	bad := append(append([]StitchedSpan(nil), router...), Stitch([]ProcessSpans{worker})...)
+	err := VerifyStitched(bad)
+	if err == nil {
+		t.Fatal("uncorrected 1h-skewed timeline passed verification")
+	}
+	if !strings.Contains(err.Error(), "escapes parent") {
+		t.Fatalf("unexpected verification error: %v", err)
+	}
+}
+
+func TestVerifyStitchedRejectsMissingParentAndBackwardsSpan(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	orphan := []StitchedSpan{
+		{Process: "router", Name: "respond", Parent: "request", Start: base, End: base.Add(time.Millisecond)},
+	}
+	if err := VerifyStitched(orphan); err == nil {
+		t.Fatal("orphan span passed verification")
+	}
+	backwards := []StitchedSpan{
+		{Process: "router", Name: "request", Start: base.Add(time.Millisecond), End: base},
+	}
+	if err := VerifyStitched(backwards); err == nil {
+		t.Fatal("backwards span passed verification")
+	}
+}
+
+func TestVerifyStitchedCrossProcessUncertainty(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	spans := []StitchedSpan{
+		{Process: "router", Name: "scatter_gather", Start: base, End: base.Add(10 * time.Millisecond)},
+		// Child pokes 100µs past the parent's end — within a 150µs
+		// cross-process uncertainty, so it must pass...
+		{Process: "shard0 w0", Name: "shard_eval", Parent: "scatter_gather",
+			Start: base.Add(time.Millisecond), End: base.Add(10*time.Millisecond + 100*time.Microsecond),
+			Uncertainty: 150 * time.Microsecond},
+	}
+	if err := VerifyStitched(spans); err != nil {
+		t.Fatalf("overhang within uncertainty rejected: %v", err)
+	}
+	// ...and fail once the uncertainty cannot explain the overhang.
+	spans[1].Uncertainty = 10 * time.Microsecond
+	if err := VerifyStitched(spans); err == nil {
+		t.Fatal("overhang beyond uncertainty passed")
+	}
+	// Same-process nesting is exact: no slack even with uncertainty.
+	spans[1].Process = "router"
+	spans[1].Uncertainty = 150 * time.Microsecond
+	if err := VerifyStitched(spans); err == nil {
+		t.Fatal("same-process overhang passed")
+	}
+}
+
+func TestStitchedEventRoundTrip(t *testing.T) {
+	tracer := trace.NewWallTracer(1, 1)
+	base := time.Now()
+	in := []StitchedSpan{
+		{Process: "router", Name: "request", Start: base, End: base.Add(5 * time.Millisecond)},
+		{Process: "router", Name: "scatter_gather", Parent: "request",
+			Start: base.Add(time.Millisecond), End: base.Add(4 * time.Millisecond)},
+		{Process: "shard0 w0", Name: "shard_eval", Parent: "scatter_gather",
+			Start: base.Add(2 * time.Millisecond), End: base.Add(3 * time.Millisecond),
+			Uncertainty: 80 * time.Microsecond},
+	}
+	ExportStitched(tracer, "req-1", in)
+	tracer.SpanAt("router", "request", base, base.Add(time.Millisecond),
+		map[string]any{"request": "req-2"}) // different request: filtered out
+
+	out := StitchedFromEvents(tracer.Trace().Events(), "req-1")
+	if len(out) != len(in) {
+		t.Fatalf("round trip kept %d of %d spans", len(out), len(in))
+	}
+	byName := map[string]StitchedSpan{}
+	for _, s := range out {
+		byName[s.Process+"/"+s.Name] = s
+	}
+	// Event timestamps are relative to the tracer's epoch, so compare
+	// span positions relative to the request root on each side.
+	inRoot, outRoot := in[0].Start, byName["router/request"].Start
+	for _, want := range in {
+		got, ok := byName[want.Process+"/"+want.Name]
+		if !ok {
+			t.Fatalf("span %s/%s lost in round trip", want.Process, want.Name)
+		}
+		if got.Parent != want.Parent {
+			t.Fatalf("%s parent = %q, want %q", want.Name, got.Parent, want.Parent)
+		}
+		// Chrome events carry microsecond floats: exact to ~1µs.
+		if d := got.Start.Sub(outRoot) - want.Start.Sub(inRoot); d < -2*time.Microsecond || d > 2*time.Microsecond {
+			t.Fatalf("%s start drifted %v in round trip", want.Name, d)
+		}
+		if d := got.End.Sub(outRoot) - want.End.Sub(inRoot); d < -2*time.Microsecond || d > 2*time.Microsecond {
+			t.Fatalf("%s end drifted %v in round trip", want.Name, d)
+		}
+	}
+	if err := VerifyStitched(out); err != nil {
+		t.Fatalf("round-tripped timeline failed verification: %v", err)
+	}
+}

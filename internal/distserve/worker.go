@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"splitcnn/internal/buildinfo"
 	"splitcnn/internal/dist"
 	"splitcnn/internal/serve"
 	"splitcnn/internal/snapshot"
@@ -58,6 +59,7 @@ type Worker struct {
 
 	pool *dist.ClientPool
 	exch *dist.Exchange
+	bank *spanBank
 
 	maxPods  int
 	inflight atomic.Int64
@@ -124,6 +126,7 @@ func StartWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 	w := &Worker{
 		plan: plan, eval: se, sig: plan.Signature(fp),
 		pool: dist.NewClientPool(), exch: dist.NewExchange(),
+		bank:    newSpanBank(0),
 		maxPods: maxPods, met: met, log: logger,
 		delay: cfg.StageDelay, started: time.Now(),
 		stop: make(chan struct{}), conns: make(map[net.Conn]struct{}),
@@ -216,7 +219,14 @@ func (w *Worker) janitor() {
 			if n := w.exch.Expire(now); n > 0 {
 				w.met.Counter("dist.worker.expired_requests").Add(int64(n))
 			}
+			if n := w.bank.sweep(now); n > 0 {
+				w.met.Counter("dist.worker.span_bank_expired").Add(int64(n))
+			}
 			w.met.Gauge("dist.worker.exchange_requests").Set(float64(w.exch.Len()))
+			w.met.Gauge("dist.worker.span_bank_requests").Set(float64(w.bank.len()))
+			if w.tracer != nil {
+				w.met.Gauge("trace.dropped_spans").Set(float64(w.tracer.DroppedSpans()))
+			}
 		}
 	}
 }
@@ -242,7 +252,31 @@ func (s *shardService) Health(_ *HealthArgs, reply *HealthReply) error {
 		HaloRequests: w.haloReqs.Load(),
 		HaloBytes:    w.haloBts.Load(),
 		UptimeSec:    time.Since(w.started).Seconds(),
+		Build:        buildinfo.Get(),
 	}
+	return nil
+}
+
+// Clock implements Shard.Clock: a wall-clock read for the router's
+// skew estimator. The timestamp is taken immediately, so the only
+// unmodeled delay is the RPC framing itself (bounded by the probe RTT).
+func (s *shardService) Clock(_ *ClockArgs, reply *ClockReply) error {
+	reply.UnixNano = time.Now().UnixNano()
+	return nil
+}
+
+// Spans implements Shard.Spans: consume the banked stage spans of one
+// sampled (request, attempt).
+func (s *shardService) Spans(args *SpansArgs, reply *SpansReply) error {
+	shard, spans, ok := s.w.bank.take(args.ReqID)
+	*reply = SpansReply{Found: ok, Shard: shard, Spans: spans}
+	return nil
+}
+
+// Metrics implements Shard.Metrics: one tear-free snapshot of the
+// worker's registry for router-side federation.
+func (s *shardService) Metrics(_ *MetricsArgs, reply *MetricsReply) error {
+	reply.Snap = s.w.met.Snapshot()
 	return nil
 }
 
@@ -284,14 +318,26 @@ func (w *Worker) evalShard(args *EvalArgs, reply *EvalReply) error {
 	defer w.exch.SetExpiry(args.ReqID, minTime(deadline, time.Now().Add(5*time.Second)))
 
 	sc := w.tracer.Request(fmt.Sprintf("%s/s%d", args.ReqID, args.Shard))
+	// Harvest expiry: spans must outlive the request deadline long
+	// enough for the router to collect them right after gather.
+	bankExpiry := deadline.Add(5 * time.Second)
 	start := time.Now()
 	fetch := func(stage, owner int, rows Range) (*tensor.Tensor, error) {
 		remaining := time.Until(deadline)
 		var hr HaloReply
+		h0 := time.Now()
 		err := w.pool.Call(args.Gang[owner], "Shard.Halo", &HaloArgs{
 			ReqID: args.ReqID, Stage: stage, Lo: rows.Lo, Hi: rows.Hi,
-			TimeoutMs: remaining.Milliseconds(),
+			TimeoutMs: remaining.Milliseconds(), Sampled: args.Trace.Sampled,
 		}, &hr, remaining)
+		h1 := time.Now()
+		w.met.Histogram("dist.worker.halo_wait_seconds", trace.LatencyBuckets).Observe(h1.Sub(h0).Seconds())
+		if args.Trace.Sampled {
+			w.bank.add(args.ReqID, bankExpiry, WireSpan{
+				Name: fmt.Sprintf("halo_wait:s%d", stage), Parent: "shard_eval",
+				StartUnixNano: h0.UnixNano(), EndUnixNano: h1.UnixNano(),
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -311,10 +357,18 @@ func (w *Worker) evalShard(args *EvalArgs, reply *EvalReply) error {
 			time.Sleep(w.delay)
 		}
 		sc.Record("stage:"+name, s0, s1)
+		if args.Trace.Sampled {
+			w.bank.add(args.ReqID, bankExpiry, WireSpan{
+				Name: "stage:" + name, Parent: "shard_eval",
+				StartUnixNano: s0.UnixNano(), EndUnixNano: s1.UnixNano(),
+			})
+		}
 		w.met.Histogram("dist.worker.stage_seconds", trace.LatencyBuckets).Observe(s1.Sub(s0).Seconds())
 	}
 	out, band, err := w.eval.RunShard(image, args.Shard, owners, fetch, publish, obs)
 	if err != nil {
+		// A failed attempt is never harvested; don't hold its spans.
+		w.bank.drop(args.ReqID)
 		// Tombstone the exchange entry: our published rows are part of a
 		// failed attempt, and gang partners parked on — or racing toward —
 		// our unpublished stages must fail immediately rather than ride
@@ -329,8 +383,20 @@ func (w *Worker) evalShard(args *EvalArgs, reply *EvalReply) error {
 	if out != nil {
 		reply.Data = append([]float32(nil), out.Data()...)
 	}
-	sc.Record("shard_eval", start, time.Now())
+	end := time.Now()
+	sc.Record("shard_eval", start, end)
 	w.tracer.Finish(sc)
+	if args.Trace.Sampled {
+		// The root worker span parents under the router-side span named
+		// in the trace context; marking the entry done makes it
+		// harvestable. Spans banked by Halo handlers serving this same
+		// attempt on this worker ride along in the same entry.
+		w.bank.add(args.ReqID, bankExpiry, WireSpan{
+			Name: "shard_eval", Parent: args.Trace.Parent,
+			StartUnixNano: start.UnixNano(), EndUnixNano: end.UnixNano(),
+		})
+		w.bank.finish(args.ReqID, args.Shard)
+	}
 	w.met.Histogram("dist.worker.eval_seconds", trace.LatencyBuckets).Observe(time.Since(start).Seconds())
 	return nil
 }
@@ -342,7 +408,19 @@ func (w *Worker) halo(args *HaloArgs, reply *HaloReply) error {
 	if timeout <= 0 {
 		return fmt.Errorf("distserve: halo request with no time budget")
 	}
+	h0 := time.Now()
 	v, err := w.exch.Wait(args.ReqID, args.Stage, timeout)
+	h1 := time.Now()
+	w.met.Histogram("dist.worker.halo_serve_seconds", trace.LatencyBuckets).Observe(h1.Sub(h0).Seconds())
+	if args.Sampled && err == nil {
+		// A halo serve can begin before this worker's own Eval arrives,
+		// so it can't nest under shard_eval; an empty parent parents it
+		// under the router's cross-process span at stitch time.
+		w.bank.add(args.ReqID, h1.Add(time.Duration(args.TimeoutMs)*time.Millisecond+5*time.Second), WireSpan{
+			Name: fmt.Sprintf("halo_serve:s%d", args.Stage), Parent: "",
+			StartUnixNano: h0.UnixNano(), EndUnixNano: h1.UnixNano(),
+		})
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"splitcnn/internal/trace"
+)
+
+// evt builds one exported stitched span in ExportStitched's event
+// shape: times in ms on the trace clock, args carrying the request ID
+// and parent span name.
+func evt(proc, name, parent, req string, startMs, endMs float64) trace.Event {
+	args := map[string]any{"request": req}
+	if parent != "" {
+		args["parent"] = parent
+	}
+	return trace.Event{
+		Name: name, Cat: proc, Ph: "X",
+		TS: startMs * 1e3, Dur: (endMs - startMs) * 1e3,
+		Args: args,
+	}
+}
+
+// gangEvents is a well-formed 2-shard request: router phases partition
+// [0, 100ms] except one idle gap at [95, 96].
+func gangEvents(req string) []trace.Event {
+	return []trace.Event{
+		evt("router", "request", "", req, 0, 100),
+		evt("router", "admit", "request", req, 0, 1),
+		evt("router", "scatter_gather", "request", req, 1, 80),
+		evt("router", "gather", "request", req, 80, 85),
+		evt("router", "tail", "request", req, 85, 95),
+		evt("router", "respond", "request", req, 96, 100),
+		evt("shard0 w0", "shard_eval", "scatter_gather", req, 2, 78),
+		evt("shard0 w0", "stage:conv1", "shard_eval", req, 2, 40),
+		evt("shard0 w0", "halo_wait:s1", "shard_eval", req, 40, 45),
+		evt("shard0 w0", "stage:conv2", "shard_eval", req, 45, 78),
+		evt("shard1 w1", "shard_eval", "scatter_gather", req, 2, 70),
+		evt("shard1 w1", "halo_serve:s1", "scatter_gather", req, 41, 42),
+	}
+}
+
+func TestDistReportCriticalPathIdentity(t *testing.T) {
+	d, sum, err := DistReport("gang timeline", gangEvents("req-1"), "req-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.RequestSeconds, 0.1; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("request duration = %v, want %v", got, want)
+	}
+	// The router lane is a gap-free decomposition: plotted == measured.
+	if err := sum.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Processes != 3 || sum.Spans != len(gangEvents("req-1")) {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	lanes := d.Charts[0].Lanes
+	// router + shard0 forward + shard0 halo + shard1 forward + shard1 halo.
+	if len(lanes) != 5 {
+		names := make([]string, len(lanes))
+		for i, l := range lanes {
+			names[i] = l.Name
+		}
+		t.Fatalf("got %d lanes: %v", len(lanes), names)
+	}
+	if lanes[0].Name != "router" {
+		t.Fatalf("first lane = %q, want router", lanes[0].Name)
+	}
+	idle := 0
+	for _, s := range lanes[0].Spans {
+		if s.Series < 0 {
+			idle++
+		}
+	}
+	if idle != 1 {
+		t.Fatalf("router lane has %d idle fillers, want 1 (the [95,96] gap)", idle)
+	}
+
+	// The page must actually render, with one rect per lane span.
+	var b strings.Builder
+	if err := Render(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	html := b.String()
+	spans := 0
+	for _, l := range lanes {
+		spans += len(l.Spans)
+	}
+	if got := strings.Count(html, "<rect class=\"lspan\"") + strings.Count(html, "<rect class=\"lgap\""); got != spans {
+		t.Fatalf("rendered %d lane rects, want %d", got, spans)
+	}
+	if !strings.Contains(html, "shard1 w1 · halo") {
+		t.Fatal("halo lane label missing from render")
+	}
+}
+
+// Overlapping router phases mean the plotted critical path exceeds the
+// request span — the self-verification must refuse the page.
+func TestDistReportDetectsOverlap(t *testing.T) {
+	events := gangEvents("req-1")
+	for i := range events {
+		if events[i].Name == "gather" {
+			events[i].TS = 70 * 1e3 // now overlaps scatter_gather [1,80]
+			events[i].Dur = 15 * 1e3
+		}
+	}
+	_, sum, err := DistReport("t", events, "req-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Verify(); err == nil {
+		t.Fatal("overlapping phases passed critical-path verification")
+	}
+}
+
+func TestDistReportPicksBusiestRequest(t *testing.T) {
+	events := append(gangEvents("req-big"), evt("router", "request", "", "req-small", 0, 1))
+	_, sum, err := DistReport("t", events, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Request != "req-big" {
+		t.Fatalf("picked %q, want req-big", sum.Request)
+	}
+	if ids := DistRequests(events); len(ids) != 2 || ids[0] != "req-big" {
+		t.Fatalf("DistRequests = %v", ids)
+	}
+}
+
+func TestDistReportErrors(t *testing.T) {
+	if _, _, err := DistReport("t", nil, ""); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	orphans := []trace.Event{evt("router", "respond", "request", "r", 0, 1)}
+	if _, _, err := DistReport("t", orphans, "r"); err == nil {
+		t.Fatal("trace without a root request span accepted")
+	}
+}

@@ -37,6 +37,25 @@ type Series struct {
 	Points []Point
 }
 
+// LaneSpan is one interval on a timeline lane: [Start, End] in seconds
+// on the chart's shared x axis.
+type LaneSpan struct {
+	Start, End float64
+	// Label names the span in its tooltip and, when the span is wide
+	// enough, directly on the rect.
+	Label string
+	// Series picks the palette color; a negative value renders a
+	// neutral filler block (idle gaps on a critical-path lane).
+	Series int
+}
+
+// Lane is one named row of a lane chart — one process or activity
+// class on a shared time axis.
+type Lane struct {
+	Name  string
+	Spans []LaneSpan
+}
+
 // YKind selects the y-axis unit system of a chart. The zero value is
 // bytes — the memory-timeline reports predate the other kinds.
 type YKind int
@@ -75,6 +94,9 @@ type Chart struct {
 	// HighWaterLabel — the static plan size the series must stay under.
 	HighWater      float64
 	HighWaterLabel string
+	// Lanes, when non-empty, renders a gantt-style timeline (one row
+	// per lane, seconds on x) instead of Series.
+	Lanes []Lane
 }
 
 // yAxis returns the tick unit, tick unit label, and tooltip formatter
@@ -184,6 +206,9 @@ func WriteFile(path string, d *Data) error {
 }
 
 func renderChart(b *strings.Builder, c *Chart) error {
+	if len(c.Lanes) > 0 {
+		return renderLanes(b, c)
+	}
 	if len(c.Series) == 0 || len(c.Series) > len(palette) {
 		return fmt.Errorf("report: chart %q has %d series, want 1..%d", c.Title, len(c.Series), len(palette))
 	}
@@ -331,6 +356,83 @@ func renderChart(b *strings.Builder, c *Chart) error {
 	return nil
 }
 
+// Lane-chart geometry: lane names can be long ("shard3 10.0.0.4:9090"),
+// so the left margin is wider than the step charts'.
+const (
+	laneMarginL = 190.0
+	laneH       = 30.0
+)
+
+// renderLanes draws the chart's lanes as a gantt timeline: one row per
+// lane, every span a colored block with a native-tooltip hover, idle
+// fillers in a neutral tone.
+func renderLanes(b *strings.Builder, c *Chart) error {
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	for _, l := range c.Lanes {
+		for _, s := range l.Spans {
+			if s.End < s.Start {
+				return fmt.Errorf("report: lane %q span %q ends before it starts", l.Name, s.Label)
+			}
+			xMin, xMax = math.Min(xMin, s.Start), math.Max(xMax, s.End)
+		}
+	}
+	if xMax <= xMin {
+		return fmt.Errorf("report: lane chart %q has a degenerate domain", c.Title)
+	}
+
+	height := marginT + laneH*float64(len(c.Lanes)) + marginB
+	plotW := chartW - laneMarginL - marginR
+	xpos := func(x float64) float64 { return laneMarginL + (x-xMin)/(xMax-xMin)*plotW }
+
+	fmt.Fprintf(b, "<figure>\n<figcaption><strong>%s</strong>", esc(c.Title))
+	if c.Note != "" {
+		fmt.Fprintf(b, " <span class=\"note\">%s</span>", esc(c.Note))
+	}
+	b.WriteString("</figcaption>\n")
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %g %g\" role=\"img\" aria-label=\"%s\">\n", chartW, height, esc(c.Title))
+
+	// Vertical grid + time labels on nice ticks.
+	tUnit, tName := secUnit(xMax - xMin)
+	for _, tick := range niceTicks((xMax-xMin)/tUnit, 6) {
+		x := xpos(xMin + tick*tUnit)
+		fmt.Fprintf(b, "<line class=\"grid\" x1=\"%.2f\" y1=\"%g\" x2=\"%.2f\" y2=\"%.2f\"/>\n",
+			x, marginT, x, height-marginB)
+		fmt.Fprintf(b, "<text class=\"tick\" x=\"%.2f\" y=\"%.2f\" text-anchor=\"middle\">%s %s</text>\n",
+			x, height-marginB+20, trimFloat(tick), tName)
+	}
+
+	for i, l := range c.Lanes {
+		top := marginT + laneH*float64(i)
+		if i > 0 {
+			fmt.Fprintf(b, "<line class=\"grid\" x1=\"%g\" y1=\"%.2f\" x2=\"%g\" y2=\"%.2f\"/>\n",
+				laneMarginL, top, chartW-marginR, top)
+		}
+		fmt.Fprintf(b, "<text class=\"tick\" x=\"%g\" y=\"%.2f\" text-anchor=\"end\">%s</text>\n",
+			laneMarginL-8, top+laneH/2+4, esc(l.Name))
+		for _, s := range l.Spans {
+			x0, x1 := xpos(s.Start), xpos(s.End)
+			w := math.Max(x1-x0, 0.5) // keep sub-pixel spans visible
+			fill, class := "var(--grid)", "lgap"
+			if s.Series >= 0 {
+				fill, class = palette[s.Series%len(palette)], "lspan"
+			}
+			tip := fmt.Sprintf("%s\n%s → %s · %s", s.Label,
+				HumanSeconds(s.Start), HumanSeconds(s.End), HumanSeconds(s.End-s.Start))
+			fmt.Fprintf(b, "<rect class=\"%s\" x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%g\" rx=\"2\" fill=\"%s\"><title>%s</title></rect>\n",
+				class, x0, top+5, w, laneH-10, fill, esc(tip))
+			// Direct label inside spans wide enough to carry one.
+			if s.Series >= 0 && s.Label != "" && w > 9*float64(len(s.Label)) {
+				fmt.Fprintf(b, "<text class=\"ltext\" x=\"%.2f\" y=\"%.2f\" text-anchor=\"middle\">%s</text>\n",
+					x0+w/2, top+laneH/2+4, esc(s.Label))
+			}
+		}
+	}
+	fmt.Fprintf(b, "<line class=\"axis\" x1=\"%g\" y1=\"%.2f\" x2=\"%g\" y2=\"%.2f\"/>\n",
+		laneMarginL, height-marginB, chartW-marginR, height-marginB)
+	b.WriteString("</svg>\n</figure>\n")
+	return nil
+}
+
 // HumanBytes formats a byte count with binary units ("1.5 MiB").
 func HumanBytes(v float64) string {
 	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
@@ -448,6 +550,8 @@ svg text{font:11px system-ui,sans-serif}
 .mark{stroke:var(--bg);stroke-width:2}
 .hit{fill:transparent}
 .hit:hover{fill:var(--text-1);fill-opacity:.05}
+.lspan:hover,.lgap:hover{stroke:var(--text-1);stroke-width:1}
+.ltext{fill:#fff;font-size:10px;pointer-events:none}
 details{margin:2rem 0}
 summary{color:var(--text-2);cursor:pointer}
 table{border-collapse:collapse;margin-top:.6rem;font-variant-numeric:tabular-nums}

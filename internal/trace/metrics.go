@@ -148,22 +148,28 @@ func (h *Histogram) Mean() float64 {
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.count == 0 {
+	return bucketQuantile(h.bounds, h.buckets, h.count, h.min, h.max, q)
+}
+
+// bucketQuantile is the shared quantile walk used by both the live
+// Histogram (under its lock) and the immutable HistogramSnapshot.
+func bucketQuantile(bounds []float64, buckets []int64, count int64, min, max, q float64) float64 {
+	if count == 0 {
 		return 0
 	}
 	if q <= 0 || math.IsNaN(q) {
-		return h.min
+		return min
 	}
 	if q >= 1 {
-		return h.max
+		return max
 	}
-	target := q * float64(h.count)
+	target := q * float64(count)
 	var cum float64
-	lo := h.min
-	for i, n := range h.buckets {
-		hi := h.max
-		if i < len(h.bounds) && h.bounds[i] < hi {
-			hi = h.bounds[i]
+	lo := min
+	for i, n := range buckets {
+		hi := max
+		if i < len(bounds) && bounds[i] < hi {
+			hi = bounds[i]
 		}
 		if hi < lo {
 			hi = lo
@@ -176,11 +182,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 			return lo + frac*(hi-lo)
 		}
 		cum += float64(n)
-		if i < len(h.bounds) && h.bounds[i] > lo {
-			lo = h.bounds[i]
+		if i < len(bounds) && bounds[i] > lo {
+			lo = bounds[i]
 		}
 	}
-	return h.max
+	return max
 }
 
 // Counter returns (creating if needed) the named counter.
@@ -242,8 +248,10 @@ func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// histogramDump is the JSON form of one histogram.
-type histogramDump struct {
+// HistogramSnapshot is the immutable point-in-time form of one
+// histogram — the unit the metrics-federation RPC ships between
+// processes (all fields are exported so encoding/gob can carry it).
+type HistogramSnapshot struct {
 	Count   int64     `json:"count"`
 	Sum     float64   `json:"sum"`
 	Min     float64   `json:"min"`
@@ -252,20 +260,64 @@ type histogramDump struct {
 	Buckets []int64   `json:"buckets"`
 }
 
-// dump is the JSON form of the whole registry.
-type dump struct {
-	Counters   map[string]int64         `json:"counters"`
-	Gauges     map[string]float64       `json:"gauges"`
-	Histograms map[string]histogramDump `json:"histograms"`
+// Quantile estimates the q-th quantile of the snapshot, with the same
+// semantics as Histogram.Quantile.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	return bucketQuantile(h.Bounds, h.Buckets, h.Count, h.Min, h.Max, q)
 }
 
-func (m *Metrics) snapshot() dump {
+// Merge folds another snapshot of the same shape into this one —
+// cluster rollups sum per-worker histograms this way. The bounds must
+// match exactly; every worker builds its instruments from the same
+// compiled-in bucket ladders, so a mismatch means the snapshots are not
+// the same metric.
+func (h HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if o.Count == 0 {
+		return h, nil
+	}
+	if h.Count == 0 {
+		return o, nil
+	}
+	if len(h.Bounds) != len(o.Bounds) {
+		return h, fmt.Errorf("trace: merging histograms with %d vs %d bounds", len(h.Bounds), len(o.Bounds))
+	}
+	for i := range h.Bounds {
+		if h.Bounds[i] != o.Bounds[i] {
+			return h, fmt.Errorf("trace: merging histograms with different bounds (%v vs %v at %d)", h.Bounds[i], o.Bounds[i], i)
+		}
+	}
+	out := HistogramSnapshot{
+		Count:   h.Count + o.Count,
+		Sum:     h.Sum + o.Sum,
+		Min:     math.Min(h.Min, o.Min),
+		Max:     math.Max(h.Max, o.Max),
+		Bounds:  append([]float64(nil), h.Bounds...),
+		Buckets: make([]int64, len(h.Buckets)),
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] = h.Buckets[i] + o.Buckets[i]
+	}
+	return out, nil
+}
+
+// Snapshot is a point-in-time copy of a whole registry: the wire unit
+// of metrics federation (Shard.Metrics returns one) and the input to
+// every exporter. Instrument-level consistency matches WritePrometheus:
+// each instrument is locked once while copied.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	d := dump{
+	d := Snapshot{
 		Counters:   make(map[string]int64, len(m.counters)),
 		Gauges:     make(map[string]float64, len(m.gauges)),
-		Histograms: make(map[string]histogramDump, len(m.histograms)),
+		Histograms: make(map[string]HistogramSnapshot, len(m.histograms)),
 	}
 	for name, c := range m.counters {
 		d.Counters[name] = c.Value()
@@ -275,7 +327,7 @@ func (m *Metrics) snapshot() dump {
 	}
 	for name, h := range m.histograms {
 		h.mu.Lock()
-		d.Histograms[name] = histogramDump{
+		d.Histograms[name] = HistogramSnapshot{
 			Count:   h.count,
 			Sum:     h.sum,
 			Min:     h.min,
@@ -294,7 +346,7 @@ func (m *Metrics) snapshot() dump {
 // re-parse to the identical bits, which is what lets tests assert
 // metric values equal planner outputs with ==.
 func (m *Metrics) WriteJSON(w io.Writer) error {
-	b, err := json.MarshalIndent(m.snapshot(), "", " ")
+	b, err := json.MarshalIndent(m.Snapshot(), "", " ")
 	if err != nil {
 		return err
 	}
@@ -320,7 +372,7 @@ func (m *Metrics) WriteFile(path string) error {
 
 // WriteText dumps the registry as sorted "kind name value" lines.
 func (m *Metrics) WriteText(w io.Writer) error {
-	d := m.snapshot()
+	d := m.Snapshot()
 	var lines []string
 	for name, v := range d.Counters {
 		lines = append(lines, fmt.Sprintf("counter %s %d", name, v))

@@ -22,57 +22,132 @@ import (
 // each instrument once, so a concurrent Observe never yields a bucket
 // row inconsistent with its _count.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
-	d := m.snapshot()
+	return WritePrometheusParts(w, []LabeledSnapshot{{Snap: m.Snapshot()}})
+}
 
-	type family struct {
-		name string
-		emit func(io.Writer, string) error
-	}
-	fams := make([]family, 0, len(d.Counters)+len(d.Gauges)+len(d.Histograms))
+// LabeledSnapshot pairs one registry snapshot with the labels every one
+// of its samples should wear — the federation layer uses one part per
+// worker (`worker="host:port"`) plus an unlabeled part for rollups.
+type LabeledSnapshot struct {
+	Labels map[string]string
+	Snap   Snapshot
+}
 
-	for name, v := range d.Counters {
-		v := v
-		fams = append(fams, family{promName(name), func(w io.Writer, n string) error {
-			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, v)
-			return err
-		}})
+// WritePrometheusParts renders several labeled snapshots as one valid
+// Prometheus text exposition: families are merged across parts, each
+// family gets exactly one # TYPE line, and the samples of every part
+// follow wearing that part's labels. Same-named instruments must be the
+// same kind in every part (they are: the names come from a shared
+// compiled-in vocabulary). Families are sorted by name, parts by label
+// string, so the output is deterministic.
+func WritePrometheusParts(w io.Writer, parts []LabeledSnapshot) error {
+	type sample struct {
+		labels string
+		emit   func(io.Writer, string, string) error
 	}
-	for name, v := range d.Gauges {
-		v := v
-		fams = append(fams, family{promName(name), func(w io.Writer, n string) error {
-			_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(v))
-			return err
-		}})
-	}
-	for name, h := range d.Histograms {
-		h := h
-		fams = append(fams, family{promName(name), func(w io.Writer, n string) error {
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+	kind := map[string]string{}
+	fams := map[string][]sample{}
+
+	for _, p := range parts {
+		labels := promLabels(p.Labels)
+		for name, v := range p.Snap.Counters {
+			v := v
+			n := promName(name)
+			kind[n] = "counter"
+			fams[n] = append(fams[n], sample{labels, func(w io.Writer, n, lb string) error {
+				_, err := fmt.Fprintf(w, "%s%s %d\n", n, braced(lb), v)
 				return err
-			}
-			var cum int64
-			for i, b := range h.Bounds {
-				cum += h.Buckets[i]
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(b), cum); err != nil {
+			}})
+		}
+		for name, v := range p.Snap.Gauges {
+			v := v
+			n := promName(name)
+			kind[n] = "gauge"
+			fams[n] = append(fams[n], sample{labels, func(w io.Writer, n, lb string) error {
+				_, err := fmt.Fprintf(w, "%s%s %s\n", n, braced(lb), promFloat(v))
+				return err
+			}})
+		}
+		for name, h := range p.Snap.Histograms {
+			h := h
+			n := promName(name)
+			kind[n] = "histogram"
+			fams[n] = append(fams[n], sample{labels, func(w io.Writer, n, lb string) error {
+				var cum int64
+				for i, b := range h.Bounds {
+					cum += h.Buckets[i]
+					if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", n, commaed(lb), promFloat(b), cum); err != nil {
+						return err
+					}
+				}
+				cum += h.Buckets[len(h.Bounds)]
+				if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", n, commaed(lb), cum); err != nil {
 					return err
 				}
-			}
-			cum += h.Buckets[len(h.Bounds)]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+				_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+					n, braced(lb), promFloat(h.Sum), n, braced(lb), h.Count)
 				return err
-			}
-			_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count)
-			return err
-		}})
+			}})
+		}
 	}
 
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-	for _, f := range fams {
-		if err := f.emit(w, f.name); err != nil {
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, kind[n]); err != nil {
 			return err
+		}
+		ss := fams[n]
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			if err := s.emit(w, n, s.labels); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// promLabels renders a label map as `k="v",...` (no braces), keys
+// sorted, values escaped per the exposition grammar.
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(labels[k])
+		fmt.Fprintf(&b, "%s=%q", promName(k), v)
+	}
+	return b.String()
+}
+
+// braced wraps a non-empty label string in braces.
+func braced(lb string) string {
+	if lb == "" {
+		return ""
+	}
+	return "{" + lb + "}"
+}
+
+// commaed suffixes a non-empty label string with a comma (for joining
+// with the histogram `le` label).
+func commaed(lb string) string {
+	if lb == "" {
+		return ""
+	}
+	return lb + ","
 }
 
 // promName maps a registry name onto the Prometheus metric-name

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTraceRingCap(t *testing.T) {
+	tr := New()
+	tr.SetCap(4)
+	for i := 0; i < 10; i++ {
+		tr.Span("compute", fmt.Sprintf("s%d", i), float64(i), float64(i)+0.5)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.DroppedSpans(); got != 6 {
+		t.Fatalf("DroppedSpans = %d, want 6", got)
+	}
+	// The survivors are the newest four.
+	evs := tr.Events()
+	for i, want := range []string{"s6", "s7", "s8", "s9"} {
+		if evs[i].Name != want {
+			t.Fatalf("event %d = %q, want %q", i, evs[i].Name, want)
+		}
+	}
+
+	// Shrinking an already-wrapped ring evicts the oldest survivors.
+	tr.SetCap(2)
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("Len after shrink = %d, want 2", got)
+	}
+	if got := tr.DroppedSpans(); got != 8 {
+		t.Fatalf("DroppedSpans after shrink = %d, want 8", got)
+	}
+	evs = tr.Events()
+	if evs[0].Name != "s8" || evs[1].Name != "s9" {
+		t.Fatalf("survivors after shrink: %q, %q", evs[0].Name, evs[1].Name)
+	}
+
+	// Removing the cap stops eviction.
+	tr.SetCap(0)
+	for i := 10; i < 20; i++ {
+		tr.Span("compute", fmt.Sprintf("s%d", i), float64(i), float64(i)+0.5)
+	}
+	if got, want := tr.Len(), 12; got != want {
+		t.Fatalf("Len uncapped = %d, want %d", got, want)
+	}
+	if got := tr.DroppedSpans(); got != 8 {
+		t.Fatalf("DroppedSpans uncapped grew: %d", got)
+	}
+}
+
+func TestWallTracerRingCap(t *testing.T) {
+	w := NewWallTracer(1, 1)
+	w.Trace().SetCap(8)
+	base := time.Now()
+	for i := 0; i < 20; i++ {
+		sc := w.Request(fmt.Sprintf("req-%d", i))
+		sc.Record("respond", base, base.Add(time.Millisecond))
+		w.Finish(sc)
+	}
+	if got := w.Trace().Len(); got != 8 {
+		t.Fatalf("retained = %d, want 8", got)
+	}
+	if got := w.DroppedSpans(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+}
+
+func TestWallTracerSpanAt(t *testing.T) {
+	w := NewWallTracer(1, 1)
+	start := time.Now()
+	w.SpanAt("shard0", "stage:conv1", start, start.Add(2*time.Millisecond), map[string]any{"request": "r1"})
+	evs := w.Trace().Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	if evs[0].Cat != "shard0" || evs[0].Name != "stage:conv1" {
+		t.Fatalf("event = %+v", evs[0])
+	}
+	if dur := evs[0].Dur; dur < 1900 || dur > 2100 {
+		t.Fatalf("duration = %vµs, want ~2000µs", dur)
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	slo, err := ParseSLO("p99=50ms,err=0.1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.LatencyQuantile != 0.99 || slo.LatencyTarget != 50*time.Millisecond || slo.ErrBudget != 0.001 {
+		t.Fatalf("parsed %+v", slo)
+	}
+
+	slo, err = ParseSLO("p99.9=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slo.LatencyQuantile-0.999) > 1e-12 || slo.LatencyTarget != time.Second {
+		t.Fatalf("parsed %+v", slo)
+	}
+	if slo.ErrBudget != 0.01 { // default
+		t.Fatalf("default error budget: %v", slo.ErrBudget)
+	}
+
+	if slo, err = ParseSLO("err=0.02"); err != nil || slo.ErrBudget != 0.02 {
+		t.Fatalf("bare fraction: %+v, %v", slo, err)
+	}
+
+	for _, bad := range []string{"p0=1ms", "p100=1ms", "px=1ms", "p99", "p99=-3ms", "err=0%", "err=150%", "latency=5ms"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q): want error", bad)
+		}
+	}
+}
+
+func TestSLOTrackerBurn(t *testing.T) {
+	slo := SLO{LatencyQuantile: 0.99, LatencyTarget: 50 * time.Millisecond, ErrBudget: 0.001}
+	tr := NewSLOTracker(slo)
+	clock := time.Unix(1_000_000, 0)
+	tr.SetClock(func() time.Time { return clock })
+
+	// 1000 requests, 10 slow, 1 error: slow fraction 1% = exactly the
+	// 1-0.99 latency budget (burn 1.0); error fraction 0.1% = exactly
+	// the budget (burn 1.0).
+	for i := 0; i < 1000; i++ {
+		lat := 10 * time.Millisecond
+		if i < 10 {
+			lat = 80 * time.Millisecond
+		}
+		tr.Observe(lat, i == 0)
+		clock = clock.Add(time.Millisecond)
+	}
+	latBurn, errBurn := tr.Burn(SLOFastWindow)
+	if latBurn < 0.999 || latBurn > 1.001 {
+		t.Fatalf("latency burn = %v, want ~1.0", latBurn)
+	}
+	if errBurn < 0.999 || errBurn > 1.001 {
+		t.Fatalf("error burn = %v, want ~1.0", errBurn)
+	}
+
+	// Jump past the fast window: the fast burn empties, the slow one
+	// still sees the old traffic.
+	clock = clock.Add(SLOFastWindow + time.Second)
+	latBurn, errBurn = tr.Burn(SLOFastWindow)
+	if latBurn != 0 || errBurn != 0 {
+		t.Fatalf("fast window after gap: %v, %v, want 0, 0", latBurn, errBurn)
+	}
+	if lat1h, _ := tr.Burn(SLOSlowWindow); lat1h < 0.999 || lat1h > 1.001 {
+		t.Fatalf("slow window after gap: %v, want ~1.0", lat1h)
+	}
+
+	// Jump past the slow window: everything expires (lazy bucket reuse).
+	clock = clock.Add(SLOSlowWindow)
+	if lat1h, err1h := tr.Burn(SLOSlowWindow); lat1h != 0 || err1h != 0 {
+		t.Fatalf("slow window after full expiry: %v, %v, want 0, 0", lat1h, err1h)
+	}
+
+	// Publish writes the gauges.
+	m := NewMetrics()
+	tr.Observe(200*time.Millisecond, true) // 1 req: slow and failed
+	tr.Publish(m)
+	if got := m.Gauge("slo.latency_burn_5m").Value(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("published latency burn = %v", got)
+	}
+	if got := m.Gauge("slo.error_burn_5m").Value(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("published error burn = %v", got)
+	}
+	if got := m.Gauge("slo.latency_target_seconds").Value(); got != 0.05 {
+		t.Fatalf("published target = %v", got)
+	}
+
+	// Nil tracker: all methods no-op.
+	var nilTr *SLOTracker
+	nilTr.Observe(time.Second, true)
+	nilTr.Publish(m)
+	if l, e := nilTr.Burn(SLOFastWindow); l != 0 || e != 0 {
+		t.Fatal("nil tracker burn")
+	}
+}
+
+func TestSLORoundTrip(t *testing.T) {
+	in := "p99=50ms,err=0.1%"
+	slo, err := ParseSLO(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := slo.String(); got != in {
+		t.Fatalf("String() = %q, want %q", got, in)
+	}
+	again, err := ParseSLO(slo.String())
+	if err != nil || again != slo {
+		t.Fatalf("round trip: %+v vs %+v (%v)", again, slo, err)
+	}
+}

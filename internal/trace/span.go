@@ -96,6 +96,12 @@ type WallTracer struct {
 	dropped atomic.Int64
 }
 
+// DefaultSpanCap is the ring-buffer bound NewWallTracer installs on its
+// trace: a long-running worker with sampling enabled retains the most
+// recent window of spans instead of growing without bound. Use
+// Trace().SetCap to change or remove it.
+const DefaultSpanCap = 16384
+
 // NewWallTracer returns a tracer sampling the given fraction of
 // requests (clamped to [0, 1]; 1 samples everything). seed fixes the
 // sampling sequence, which tests use to make sampling deterministic.
@@ -106,10 +112,12 @@ func NewWallTracer(rate float64, seed int64) *WallTracer {
 	if rate > 1 {
 		rate = 1
 	}
+	tr := New()
+	tr.SetCap(DefaultSpanCap)
 	return &WallTracer{
 		rate:  rate,
 		epoch: time.Now(),
-		tr:    New(),
+		tr:    tr,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
@@ -148,6 +156,26 @@ func (w *WallTracer) Finish(c *SpanContext) {
 		w.tr.SpanArgs(s.Name, fmt.Sprintf("%s %s", s.Name, c.id),
 			s.Start.Sub(w.epoch).Seconds(), s.End.Sub(w.epoch).Seconds(), args)
 	}
+}
+
+// SpanAt records one wall-clock interval directly into the tracer's
+// trace under an explicit stream, bypassing the per-request Finish
+// export. The cluster stitcher uses this to lay harvested remote spans
+// (already skew-corrected to this process's clock) onto per-process
+// rows of a single timeline.
+func (w *WallTracer) SpanAt(stream, name string, start, end time.Time, args map[string]any) {
+	if w == nil {
+		return
+	}
+	w.tr.SpanArgs(stream, name, start.Sub(w.epoch).Seconds(), end.Sub(w.epoch).Seconds(), args)
+}
+
+// DroppedSpans returns how many spans the ring cap has evicted.
+func (w *WallTracer) DroppedSpans() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.tr.DroppedSpans()
 }
 
 // Sampled returns how many requests were sampled so far.

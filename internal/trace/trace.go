@@ -58,6 +58,13 @@ type Trace struct {
 	tids  map[string]int
 	// streams lists stream names in tid order (for tests and text dumps).
 	streams []string
+	// cap bounds the retained spans (0 = unbounded). When full the
+	// buffer becomes a ring: the oldest span is overwritten and dropped
+	// counts the eviction, so a long-running server with sampling on
+	// keeps the most recent window instead of growing without bound.
+	cap     int
+	next    int
+	dropped int64
 }
 
 type span struct {
@@ -98,7 +105,45 @@ func (t *Trace) SpanArgs(stream, name string, start, end float64, args map[strin
 		t.tids[stream] = len(t.tids)
 		t.streams = append(t.streams, stream)
 	}
-	t.spans = append(t.spans, span{stream: stream, name: name, start: start, end: end, args: args})
+	s := span{stream: stream, name: name, start: start, end: end, args: args}
+	if t.cap > 0 && len(t.spans) >= t.cap {
+		t.spans[t.next] = s
+		t.next = (t.next + 1) % t.cap
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// SetCap bounds the number of retained spans; once full, recording a
+// new span evicts the oldest (counted by DroppedSpans). n <= 0 removes
+// the bound. If more than n spans are already retained, the oldest are
+// evicted immediately.
+func (t *Trace) SetCap(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next != 0 {
+		// Normalize the ring to oldest-first so trimming and future
+		// eviction order stay correct.
+		t.spans = append(append([]span(nil), t.spans[t.next:]...), t.spans[:t.next]...)
+		t.next = 0
+	}
+	if n <= 0 {
+		t.cap = 0
+		return
+	}
+	if len(t.spans) > n {
+		t.dropped += int64(len(t.spans) - n)
+		t.spans = append([]span(nil), t.spans[len(t.spans)-n:]...)
+	}
+	t.cap = n
+}
+
+// DroppedSpans returns how many spans were evicted by the ring cap.
+func (t *Trace) DroppedSpans() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Len returns the number of recorded spans.
