@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve bench-dist train-smoke compile-smoke tune-smoke dist-smoke
+.PHONY: build test race vet fmt ci golden trace report-smoke bench-kernels bench-smoke serve-smoke bench-serve bench-dist train-smoke compile-smoke tune-smoke dist-smoke mem-smoke bench-gate
 
 # Kernel micro-benchmarks: the CPU execution engine's hot paths
 # (blocked GEMM, im2col, convolution, full arena-backed train step —
@@ -29,7 +29,7 @@ fmt:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: vet fmt build race bench-smoke serve-smoke compile-smoke report-smoke train-smoke tune-smoke dist-smoke
+ci: vet fmt build race bench-smoke serve-smoke compile-smoke report-smoke train-smoke tune-smoke dist-smoke mem-smoke bench-gate
 
 # bench-kernels measures the kernel micro-benchmarks and appends the
 # run to BENCH_kernels.json (the committed perf trajectory). Label the
@@ -79,6 +79,22 @@ bench-dist: build
 # worker is killed mid-fleet (ejection + gang retry).
 dist-smoke:
 	$(GO) run -race ./cmd/splitcnn router -smoke -spawn 4
+
+# mem-smoke is the memory-observability CI gate, race-enabled: a
+# compiled single-process server and a two-worker loopback fleet run
+# under load while the smoke asserts /profilez serves per-op CPU
+# attribution on serve, worker, and router, /metricsz carries the
+# measured-memory gauge family and per-request footprint histograms,
+# /clusterz federates the workers' heap gauges into cluster.mem.*
+# rollups, and the measured timeline never exceeds the static plan.
+mem-smoke:
+	$(GO) run -race ./cmd/splitcnn serve -memsmoke
+
+# bench-gate compares the latest committed benchmark run against the
+# previous one and fails on any metric that regressed past its
+# threshold (25% by default; see `splitcnn benchdiff -h`).
+bench-gate:
+	$(GO) run ./cmd/splitcnn benchdiff
 
 # golden regenerates the trace/metrics golden files after an intended
 # change to the cost model, planner, simulator or exporters.

@@ -2,43 +2,21 @@
 // record and appends it to a running benchmark log (BENCH_kernels.json
 // by default). Each `make bench-kernels` run adds one entry, so the
 // file accumulates the kernel-performance trajectory across PRs
-// instead of only holding the latest numbers.
+// instead of only holding the latest numbers. The schema and parser
+// live in internal/benchlog, shared with the `splitcnn benchdiff`
+// regression gate.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
+
+	"splitcnn/internal/benchlog"
 )
-
-// Benchmark is one `BenchmarkName  N  metrics...` result line.
-type Benchmark struct {
-	Name string `json:"name"`
-	N    int64  `json:"n"`
-	// Metrics maps unit -> value, e.g. "ns/op": 4.7e6, "GFLOP/s": 57.3.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Run is one invocation of the benchmark suite.
-type Run struct {
-	Label      string      `json:"label,omitempty"`
-	Date       string      `json:"date,omitempty"`
-	Go         string      `json:"go"`
-	CPU        string      `json:"cpu,omitempty"`
-	MaxProcs   int         `json:"gomaxprocs"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-// Log is the on-disk shape of BENCH_kernels.json.
-type Log struct {
-	Comment string `json:"comment,omitempty"`
-	Runs    []Run  `json:"runs"`
-}
 
 func main() {
 	out := flag.String("o", "BENCH_kernels.json", "log file to append the run to")
@@ -46,7 +24,7 @@ func main() {
 	date := flag.String("date", "", "date stamp for this run")
 	flag.Parse()
 
-	run := Run{
+	run := benchlog.Run{
 		Label:    *label,
 		Date:     *date,
 		Go:       runtime.Version(),
@@ -60,29 +38,9 @@ func main() {
 			run.CPU = strings.TrimSpace(cpu)
 			continue
 		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
+		if b, ok := benchlog.ParseLine(line, run.MaxProcs); ok {
+			run.Benchmarks = append(run.Benchmarks, b)
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 {
-			continue
-		}
-		n, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		b := Benchmark{
-			// Strip the -GOMAXPROCS suffix so names compare across machines.
-			Name:    strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
-			N:       n,
-			Metrics: map[string]float64{},
-		}
-		for i := 2; i+1 < len(fields); i += 2 {
-			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
-				b.Metrics[fields[i+1]] = v
-			}
-		}
-		run.Benchmarks = append(run.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
@@ -91,18 +49,15 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
 
-	var log Log
-	if raw, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(raw, &log); err != nil {
-			fatal(fmt.Errorf("%s exists but is not a benchjson log: %w", *out, err))
+	log, err := benchlog.Read(*out)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fatal(err)
 		}
+		log = &benchlog.Log{}
 	}
 	log.Runs = append(log.Runs, run)
-	enc, err := json.MarshalIndent(&log, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+	if err := benchlog.Write(*out, log); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: appended %d benchmarks to %s (%d runs)\n",

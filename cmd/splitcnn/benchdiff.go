@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"splitcnn/internal/benchlog"
+)
+
+// cmdBenchdiff is the performance-regression gate: it compares the
+// latest run in each benchmark log against a baseline run (the
+// previous one by default) and fails when any shared metric regresses
+// past its threshold:
+//
+//	splitcnn benchdiff -files BENCH_kernels.json,BENCH_serve.json -threshold 0.25
+//
+// Direction is per unit (ns/op, B/op, allocs/op, p99-ms and the
+// memory footprints are lower-better; GFLOP/s, GB/s, MB/s and img/s
+// higher-better); units the gate does not understand, and benchmarks
+// absent from either run, are skipped. A log with fewer than two runs
+// passes vacuously — the gate judges deltas, not absolutes.
+func cmdBenchdiff(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	files := fs.String("files", "BENCH_kernels.json,BENCH_serve.json", "comma-separated benchmark logs to gate")
+	def := fs.Float64("threshold", 0.25, "default allowed relative regression per metric (0.25 = 25% worse)")
+	perUnit := fs.String("thresholds", "", `per-unit overrides, e.g. "ns/op=0.15,img/s=0.10"`)
+	baseIdx := fs.Int("baseline", -1, "run index to use as the baseline (negative = the run before the latest)")
+	verbose := fs.Bool("v", false, "also print metrics that did not regress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	overrides := map[string]float64{}
+	if *perUnit != "" {
+		for _, kv := range strings.Split(*perUnit, ",") {
+			unit, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("benchdiff: bad -thresholds entry %q (want unit=fraction)", kv)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("benchdiff: bad -thresholds value %q: %w", kv, err)
+			}
+			overrides[strings.TrimSpace(unit)] = f
+		}
+	}
+
+	totalRegressions := 0
+	for _, path := range strings.Split(*files, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		log, err := benchlog.Read(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Printf("%s: missing, skipped\n", path)
+				continue
+			}
+			return fmt.Errorf("benchdiff: %w", err)
+		}
+		if len(log.Runs) < 2 {
+			fmt.Printf("%s: %d run(s), nothing to compare\n", path, len(log.Runs))
+			continue
+		}
+		cur := log.Runs[len(log.Runs)-1]
+		bi := *baseIdx
+		if bi < 0 {
+			bi = len(log.Runs) - 2
+		}
+		if bi >= len(log.Runs)-1 {
+			return fmt.Errorf("benchdiff: %s: baseline index %d is not before the latest run %d", path, bi, len(log.Runs)-1)
+		}
+		base := log.Runs[bi]
+		res := benchlog.Diff(base, cur, *def, overrides)
+
+		fmt.Printf("%s: run %d (%s) vs baseline %d (%s): %d metrics compared, %d regressed\n",
+			path, len(log.Runs)-1, orUnlabeled(cur.Label), bi, orUnlabeled(base.Label),
+			res.Compared, res.Regressions)
+		if res.Compared == 0 {
+			fmt.Printf("  (no shared benchmarks with gateable units)\n")
+		}
+		for _, d := range res.Deltas {
+			if !d.Regressed && !*verbose {
+				continue
+			}
+			mark := "ok  "
+			if d.Regressed {
+				mark = "FAIL"
+			}
+			fmt.Printf("  %s %-40s %-14s %12.4g -> %-12.4g %+6.1f%% (limit %.0f%%)\n",
+				mark, d.Benchmark, d.Unit, d.Base, d.New, 100*d.Change, 100*d.Limit)
+		}
+		totalRegressions += res.Regressions
+	}
+	if totalRegressions > 0 {
+		return fmt.Errorf("benchdiff: %d metric(s) regressed past threshold", totalRegressions)
+	}
+	return nil
+}
+
+func orUnlabeled(label string) string {
+	if label == "" {
+		return "unlabeled"
+	}
+	return label
+}

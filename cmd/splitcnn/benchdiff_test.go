@@ -1,0 +1,87 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"splitcnn/internal/benchlog"
+)
+
+func writeBenchLog(t *testing.T, dir, name string, runs ...benchlog.Run) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := benchlog.Write(path, &benchlog.Log{Runs: runs}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchRun(label string, nsPerOp, imgPerSec float64) benchlog.Run {
+	return benchlog.Run{
+		Label: label, Go: "go1.24", MaxProcs: 8,
+		Benchmarks: []benchlog.Benchmark{{
+			Name: "BenchmarkServeLoadtest", N: 64,
+			Metrics: map[string]float64{"ns/op": nsPerOp, "img/s": imgPerSec, "avg-batch": 2},
+		}},
+	}
+}
+
+// TestBenchdiffGate is the acceptance test for the regression gate:
+// a synthetic 2x ns/op regression must make the command exit non-zero,
+// and an improved run must pass.
+func TestBenchdiffGate(t *testing.T) {
+	dir := t.TempDir()
+
+	regressed := writeBenchLog(t, dir, "BENCH_regressed.json",
+		benchRun("baseline", 1_000_000, 800),
+		benchRun("regressed", 2_000_000, 790))
+	if err := cmdBenchdiff([]string{"-files", regressed}); err == nil {
+		t.Fatal("benchdiff passed a 2x ns/op regression")
+	}
+
+	improved := writeBenchLog(t, dir, "BENCH_improved.json",
+		benchRun("baseline", 1_000_000, 800),
+		benchRun("improved", 900_000, 880))
+	if err := cmdBenchdiff([]string{"-files", improved}); err != nil {
+		t.Fatalf("benchdiff failed an improved run: %v", err)
+	}
+}
+
+// TestBenchdiffEdgeCases: missing files and single-run logs are skipped
+// (the gate must not block a fresh checkout), explicit baselines and
+// per-unit threshold overrides are honored.
+func TestBenchdiffEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+
+	if err := cmdBenchdiff([]string{"-files", filepath.Join(dir, "absent.json")}); err != nil {
+		t.Fatalf("missing file should be skipped, got %v", err)
+	}
+	single := writeBenchLog(t, dir, "BENCH_single.json", benchRun("only", 1_000_000, 800))
+	if err := cmdBenchdiff([]string{"-files", single}); err != nil {
+		t.Fatalf("single-run log should be skipped, got %v", err)
+	}
+
+	// Three runs: fast -> slow -> slow. Latest-vs-previous passes, but
+	// pinning the baseline to run 0 must catch the cumulative slide.
+	creep := writeBenchLog(t, dir, "BENCH_creep.json",
+		benchRun("v0", 1_000_000, 800),
+		benchRun("v1", 1_900_000, 800),
+		benchRun("v2", 2_000_000, 800))
+	if err := cmdBenchdiff([]string{"-files", creep}); err != nil {
+		t.Fatalf("latest-vs-previous within threshold should pass, got %v", err)
+	}
+	if err := cmdBenchdiff([]string{"-files", creep, "-baseline", "0"}); err == nil {
+		t.Fatal("baseline 0 should expose the 2x cumulative regression")
+	}
+
+	// A 10% slowdown passes the 25% default but fails a 5% override.
+	slight := writeBenchLog(t, dir, "BENCH_slight.json",
+		benchRun("base", 1_000_000, 800),
+		benchRun("new", 1_100_000, 800))
+	if err := cmdBenchdiff([]string{"-files", slight}); err != nil {
+		t.Fatalf("10%% slowdown should pass the default threshold, got %v", err)
+	}
+	if err := cmdBenchdiff([]string{"-files", slight, "-thresholds", "ns/op=0.05"}); err == nil {
+		t.Fatal("10% slowdown should fail a 5% ns/op override")
+	}
+}

@@ -30,6 +30,7 @@ func cmdWorker(args []string) error {
 	maxPods := fs.Int("maxpods", 4, "max concurrent shard evaluations (per-pod capacity limit)")
 	logJSON := fs.Bool("logjson", false, "emit lifecycle logs as JSON instead of text")
 	traceSample := fs.Float64("tracesample", 0, "fraction of shard evaluations recording per-stage wall spans")
+	debugAddr := fs.String("debugaddr", "", "HTTP debug listener (host:port; :0 for a random port) serving /healthz, /metricsz and the continuous profiler's /profilez")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +48,7 @@ func cmdWorker(args []string) error {
 		Metrics:     trace.NewMetrics(),
 		Logger:      slog.New(handler),
 		TraceSample: *traceSample,
+		DebugAddr:   *debugAddr,
 	})
 	if err != nil {
 		return err
@@ -54,6 +56,9 @@ func cmdWorker(args []string) error {
 	p := w.Plan()
 	fmt.Printf("shard worker %q (%d stages, tail %q, max pods %d) on %s\n",
 		spec.Name, len(p.Stages), p.Tail, *maxPods, w.Addr())
+	if w.DebugAddr() != "" {
+		fmt.Printf("debug surface on http://%s/ (healthz, metricsz, profilez)\n", w.DebugAddr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

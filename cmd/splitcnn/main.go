@@ -46,6 +46,9 @@
 //	splitcnn loadtest  -spawn -c 16 -n 512 [-target URL] [-spawnworkers 4]
 //	    closed-loop concurrent load test against a serve or router
 //	    endpoint
+//	splitcnn benchdiff -files BENCH_kernels.json,BENCH_serve.json
+//	    performance-regression gate: compare the latest benchmark run
+//	    against the previous one and exit non-zero past the thresholds
 //	splitcnn version
 //	    print the binary's build provenance
 package main
@@ -106,6 +109,8 @@ func main() {
 		err = cmdRouter(os.Args[2:])
 	case "loadtest":
 		err = cmdLoadtest(os.Args[2:])
+	case "benchdiff":
+		err = cmdBenchdiff(os.Args[2:])
 	case "version", "-version", "--version":
 		fmt.Println(buildinfo.Get())
 	case "help", "-h", "--help":
@@ -170,6 +175,9 @@ subcommands:
                     loopback distributed fleet, -target URL for a remote
                     endpoint; emits a Benchmark line for
                     cmd/benchjson -o BENCH_serve.json)
+  benchdiff         perf-regression gate over the BENCH_*.json logs:
+                    latest run vs baseline, per-unit direction-aware
+                    thresholds, non-zero exit on regression
   version           print the binary's build provenance
 `, experiments.IDs())
 }

@@ -100,8 +100,12 @@ func cmdServe(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	runtimeEvery := fs.Duration("runtimemetrics", 10*time.Second, "runtime.*/arena.* gauge sampling interval (0 disables)")
 	smoke := fs.Bool("smoke", false, "self-test: serve on a random port, answer one self-issued request, exit")
+	memsmoke := fs.Bool("memsmoke", false, "self-test: exercise the memory observability plane (per-op /profilez attribution, measured-vs-planned invariant, cluster memory federation), exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *memsmoke {
+		return memSmoke()
 	}
 	if *smoke {
 		// The smoke run asserts on the observability surface, so it is
@@ -316,8 +320,9 @@ func cmdLoadtest(args []string) error {
 		}
 		rt, err := distserve.NewRouter(distserve.RouterOptions{
 			Spec: spec, Workers: addrs,
-			TailExecutors:  *conc,
-			RequestTimeout: 60 * time.Second,
+			TailExecutors:          *conc,
+			RequestTimeout:         60 * time.Second,
+			RuntimeMetricsInterval: 100 * time.Millisecond,
 		})
 		if err != nil {
 			return err
@@ -342,9 +347,10 @@ func cmdLoadtest(args []string) error {
 			return err
 		}
 		srv := serve.NewServer(reg, serve.Options{
-			MaxDelay:       *maxDelay,
-			QueueDepth:     2 * *total, // loadtest measures latency, not admission control
-			RequestTimeout: 60 * time.Second,
+			MaxDelay:               *maxDelay,
+			QueueDepth:             2 * *total, // loadtest measures latency, not admission control
+			RequestTimeout:         60 * time.Second,
+			RuntimeMetricsInterval: 100 * time.Millisecond,
 		})
 		bound, err := srv.Start("127.0.0.1:0")
 		if err != nil {
@@ -392,6 +398,32 @@ func cmdLoadtest(args []string) error {
 		errs    int
 	}
 	per := make([]stats, *conc)
+
+	// Memory footprint of the run, scraped from the target's own
+	// /metricsz: peak heap is polled while the load runs (it rises and
+	// falls with GC), the arena high water is monotone and read once at
+	// the end.
+	var peakHeap float64
+	memStop := make(chan struct{})
+	memDone := make(chan struct{})
+	go func() {
+		defer close(memDone)
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-memStop:
+				return
+			case <-t.C:
+				if g, err := scrapeGauges(base); err == nil {
+					if v := g["runtime.heap_alloc_bytes"]; v > peakHeap {
+						peakHeap = v
+					}
+				}
+			}
+		}
+	}()
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *conc; w++ {
@@ -424,6 +456,15 @@ func cmdLoadtest(args []string) error {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	close(memStop)
+	<-memDone
+	var arenaHW float64
+	if g, err := scrapeGauges(base); err == nil {
+		if v := g["runtime.heap_alloc_bytes"]; v > peakHeap {
+			peakHeap = v
+		}
+		arenaHW = g["arena.high_water_bytes"]
+	}
 
 	var lat []time.Duration
 	var batches int64
@@ -464,10 +505,20 @@ func cmdLoadtest(args []string) error {
 		}
 		resp.Body.Close()
 	}
+	// Memory metrics ride on the same line when the target's runtime
+	// sampler exposed them, so the committed BENCH_serve.json trajectory
+	// (and the benchdiff gate) covers footprint as well as latency.
+	mem := ""
+	if peakHeap > 0 {
+		mem = fmt.Sprintf(" %10.2f peak-heap-MiB", peakHeap/(1<<20))
+	}
+	if arenaHW > 0 {
+		mem += fmt.Sprintf(" %10.2f arena-hw-MiB", arenaHW/(1<<20))
+	}
 	// A `go test -bench`-shaped line, so the run can be appended to the
 	// benchmark log: splitcnn loadtest ... | benchjson -o BENCH_serve.json
-	fmt.Printf("Benchmark%s %8d %12.0f ns/op %12.1f img/s %10.3f p99-ms %8.2f avg-batch%s\n",
-		*benchName, len(lat), float64(mean.Nanoseconds()), throughput, ms(p99), avgBatch, fleet)
+	fmt.Printf("Benchmark%s %8d %12.0f ns/op %12.1f img/s %10.3f p99-ms %8.2f avg-batch%s%s\n",
+		*benchName, len(lat), float64(mean.Nanoseconds()), throughput, ms(p99), avgBatch, fleet, mem)
 	if errs > 0 {
 		return fmt.Errorf("loadtest: %d of %d requests failed", errs, *total)
 	}
@@ -475,3 +526,23 @@ func cmdLoadtest(args []string) error {
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// scrapeGauges fetches the target's /metricsz JSON and returns its
+// gauge map.
+func scrapeGauges(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metricsz status %d", resp.StatusCode)
+	}
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return snap.Gauges, nil
+}

@@ -1,0 +1,213 @@
+// Package benchlog holds the benchmark-log schema shared by the
+// benchjson appender and the `splitcnn benchdiff` regression gate: a
+// JSON log of `go test -bench` runs, one Run per suite invocation,
+// each benchmark a name plus a unit→value metric map.
+package benchlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `BenchmarkName  N  metrics...` result line.
+type Benchmark struct {
+	Name string `json:"name"`
+	N    int64  `json:"n"`
+	// Metrics maps unit -> value, e.g. "ns/op": 4.7e6, "GFLOP/s": 57.3.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run is one invocation of the benchmark suite.
+type Run struct {
+	Label      string      `json:"label,omitempty"`
+	Date       string      `json:"date,omitempty"`
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu,omitempty"`
+	MaxProcs   int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Log is the on-disk shape of BENCH_*.json.
+type Log struct {
+	Comment string `json:"comment,omitempty"`
+	Runs    []Run  `json:"runs"`
+}
+
+// ParseLine parses one `go test -bench` output line into a Benchmark.
+// The -GOMAXPROCS suffix is stripped from the name so runs compare
+// across machines. Non-benchmark lines return ok=false.
+func ParseLine(line string, maxProcs int) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:    strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", maxProcs)),
+		N:       n,
+		Metrics: map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	return b, true
+}
+
+// Read loads a benchmark log from disk.
+func Read(path string) (*Log, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var log Log
+	if err := json.Unmarshal(raw, &log); err != nil {
+		return nil, fmt.Errorf("%s is not a benchjson log: %w", path, err)
+	}
+	return &log, nil
+}
+
+// Write stores the log, pretty-printed for diff-friendly history.
+func Write(path string, log *Log) error {
+	enc, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// Direction classifies a metric unit for regression comparison.
+type Direction int
+
+const (
+	// Neutral units (avg-batch, workers, gang-size) describe the run's
+	// shape, not its performance; they are never gated.
+	Neutral Direction = iota
+	// LowerBetter units are times and footprints.
+	LowerBetter
+	// HigherBetter units are throughputs.
+	HigherBetter
+)
+
+// UnitDirection returns how a metric unit should be compared. Unknown
+// units are Neutral — the gate only judges units it understands.
+func UnitDirection(unit string) Direction {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op", "p99-ms", "peak-heap-MiB", "arena-hw-MiB":
+		return LowerBetter
+	case "GFLOP/s", "GB/s", "MB/s", "img/s":
+		return HigherBetter
+	}
+	return Neutral
+}
+
+// Delta is one metric comparison between a baseline and a new run.
+type Delta struct {
+	Benchmark string  `json:"benchmark"`
+	Unit      string  `json:"unit"`
+	Base      float64 `json:"base"`
+	New       float64 `json:"new"`
+	// Change is the signed relative change in the unit's natural
+	// direction: positive means worse (slower, bigger, less throughput).
+	Change float64 `json:"change"`
+	// Limit is the threshold Change was judged against.
+	Limit     float64 `json:"limit"`
+	Regressed bool    `json:"regressed"`
+}
+
+// DiffResult summarizes a baseline-vs-new comparison.
+type DiffResult struct {
+	// Deltas holds every gated metric comparison, regressions first,
+	// then by descending Change.
+	Deltas []Delta
+	// Compared counts gated metric comparisons; zero means the two runs
+	// share no benchmark with a gateable unit.
+	Compared    int
+	Regressions int
+}
+
+// Diff compares every benchmark present in both runs, metric by
+// metric. thresholds maps a unit to its allowed relative regression
+// (e.g. "ns/op": 0.25 tolerates 25% slower); units absent from the map
+// use def. Neutral units and benchmarks missing from either run are
+// skipped — the gate judges shared, understood metrics only.
+func Diff(base, cur Run, def float64, thresholds map[string]float64) DiffResult {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var res DiffResult
+	for _, nb := range cur.Benchmarks {
+		bb, ok := baseBy[nb.Name]
+		if !ok {
+			continue
+		}
+		for unit, nv := range nb.Metrics {
+			dir := UnitDirection(unit)
+			if dir == Neutral {
+				continue
+			}
+			bv, ok := bb.Metrics[unit]
+			if !ok {
+				continue
+			}
+			limit := def
+			if t, ok := thresholds[unit]; ok {
+				limit = t
+			}
+			var change float64
+			switch {
+			case bv == 0 && nv == 0:
+				change = 0
+			case bv == 0:
+				// A pinned-zero baseline (e.g. B/op 0 on an
+				// allocation-free benchmark) regressing to nonzero is an
+				// unbounded relative change — always a gate failure for
+				// lower-better units.
+				if dir == LowerBetter {
+					change = 1e9
+				} else {
+					change = -1e9
+				}
+			case dir == LowerBetter:
+				change = nv/bv - 1
+			default: // HigherBetter: positive change means throughput lost
+				change = bv/nv - 1
+			}
+			d := Delta{
+				Benchmark: nb.Name, Unit: unit, Base: bv, New: nv,
+				Change: change, Limit: limit, Regressed: change > limit,
+			}
+			res.Compared++
+			if d.Regressed {
+				res.Regressions++
+			}
+			res.Deltas = append(res.Deltas, d)
+		}
+	}
+	sort.Slice(res.Deltas, func(i, j int) bool {
+		a, b := res.Deltas[i], res.Deltas[j]
+		if a.Regressed != b.Regressed {
+			return a.Regressed
+		}
+		if a.Change != b.Change {
+			return a.Change > b.Change
+		}
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		return a.Unit < b.Unit
+	})
+	return res
+}

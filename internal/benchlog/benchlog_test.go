@@ -1,0 +1,145 @@
+package benchlog
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := ParseLine("BenchmarkConv2DForward/direct-8      120      9876543 ns/op    57.30 GFLOP/s    1024 B/op    3 allocs/op", 8)
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if b.Name != "BenchmarkConv2DForward/direct" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not stripped)", b.Name)
+	}
+	if b.N != 120 {
+		t.Fatalf("n = %d", b.N)
+	}
+	want := map[string]float64{"ns/op": 9876543, "GFLOP/s": 57.30, "B/op": 1024, "allocs/op": 3}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Fatalf("metrics[%s] = %g, want %g", unit, b.Metrics[unit], v)
+		}
+	}
+	// Loadtest lines carry memory units too.
+	b, ok = ParseLine("BenchmarkServeLoadtest       64      1200000 ns/op     812.1 img/s      3.400 p99-ms     2.00 avg-batch    12.29 peak-heap-MiB     4.06 arena-hw-MiB", 8)
+	if !ok || b.Metrics["peak-heap-MiB"] != 12.29 || b.Metrics["arena-hw-MiB"] != 4.06 {
+		t.Fatalf("loadtest memory metrics not parsed: %+v", b)
+	}
+	for _, bad := range []string{"ok  \tsplitcnn\t1.2s", "goos: linux", "Benchmark", "BenchmarkX notanumber 5 ns/op"} {
+		if _, ok := ParseLine(bad, 8); ok {
+			t.Fatalf("ParseLine accepted %q", bad)
+		}
+	}
+}
+
+func TestUnitDirection(t *testing.T) {
+	for _, u := range []string{"ns/op", "B/op", "allocs/op", "p99-ms", "peak-heap-MiB", "arena-hw-MiB"} {
+		if UnitDirection(u) != LowerBetter {
+			t.Fatalf("%s should be lower-better", u)
+		}
+	}
+	for _, u := range []string{"GFLOP/s", "GB/s", "MB/s", "img/s"} {
+		if UnitDirection(u) != HigherBetter {
+			t.Fatalf("%s should be higher-better", u)
+		}
+	}
+	for _, u := range []string{"avg-batch", "workers", "frobs/fortnight"} {
+		if UnitDirection(u) != Neutral {
+			t.Fatalf("%s should be neutral (ungated)", u)
+		}
+	}
+}
+
+func run(benchmarks ...Benchmark) Run { return Run{Benchmarks: benchmarks} }
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, N: 1, Metrics: metrics}
+}
+
+func TestDiffDirections(t *testing.T) {
+	base := run(
+		bench("BenchmarkA", map[string]float64{"ns/op": 100, "GFLOP/s": 50, "avg-batch": 4}),
+		bench("BenchmarkGone", map[string]float64{"ns/op": 1}),
+	)
+	cur := run(
+		bench("BenchmarkA", map[string]float64{"ns/op": 140, "GFLOP/s": 48, "avg-batch": 9}),
+		bench("BenchmarkNew", map[string]float64{"ns/op": 1}),
+	)
+	res := Diff(base, cur, 0.25, nil)
+	// avg-batch is neutral; Gone/New are unshared: only ns/op + GFLOP/s gate.
+	if res.Compared != 2 {
+		t.Fatalf("compared = %d, want 2", res.Compared)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (ns/op +40%% past 25%%)", res.Regressions)
+	}
+	// Regressions sort first.
+	d := res.Deltas[0]
+	if d.Benchmark != "BenchmarkA" || d.Unit != "ns/op" || !d.Regressed {
+		t.Fatalf("worst delta = %+v", d)
+	}
+	if d.Change < 0.399 || d.Change > 0.401 {
+		t.Fatalf("ns/op change = %g, want 0.40", d.Change)
+	}
+	// Throughput loss is positive change in the natural direction.
+	d = res.Deltas[1]
+	if d.Unit != "GFLOP/s" || d.Change <= 0 || d.Regressed {
+		t.Fatalf("GFLOP/s delta = %+v, want small non-regressed positive change", d)
+	}
+}
+
+func TestDiffThresholdOverrides(t *testing.T) {
+	base := run(bench("BenchmarkA", map[string]float64{"ns/op": 100, "img/s": 100}))
+	cur := run(bench("BenchmarkA", map[string]float64{"ns/op": 112, "img/s": 90}))
+	// Default would pass both; a tight ns/op override trips it.
+	res := Diff(base, cur, 0.25, map[string]float64{"ns/op": 0.10})
+	if res.Regressions != 1 || res.Deltas[0].Unit != "ns/op" {
+		t.Fatalf("override not applied: %+v", res.Deltas)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	base := run(bench("BenchmarkA", map[string]float64{"allocs/op": 0, "B/op": 0}))
+	cur := run(bench("BenchmarkA", map[string]float64{"allocs/op": 3, "B/op": 0}))
+	res := Diff(base, cur, 0.25, nil)
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (allocation-free benchmark started allocating)", res.Regressions)
+	}
+	d := res.Deltas[0]
+	if d.Unit != "allocs/op" || !d.Regressed {
+		t.Fatalf("delta = %+v", d)
+	}
+	// 0 -> 0 is not a regression.
+	for _, d := range res.Deltas {
+		if d.Unit == "B/op" && d.Regressed {
+			t.Fatalf("0 -> 0 flagged as regression: %+v", d)
+		}
+	}
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	in := &Log{
+		Comment: "test log",
+		Runs: []Run{{
+			Label: "seed", Go: "go1.24", MaxProcs: 8,
+			Benchmarks: []Benchmark{bench("BenchmarkA", map[string]float64{"ns/op": 5})},
+		}},
+	}
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Comment != in.Comment || len(out.Runs) != 1 ||
+		out.Runs[0].Benchmarks[0].Metrics["ns/op"] != 5 {
+		t.Fatalf("roundtrip mismatch: %+v", out)
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Read of a missing file should error")
+	}
+}

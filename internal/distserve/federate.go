@@ -81,6 +81,8 @@ func (rt *Router) collectCluster() clusterView {
 	consistent := true
 	haloWait := trace.HistogramSnapshot{}
 	stageSecs := trace.HistogramSnapshot{}
+	reqMem := trace.HistogramSnapshot{}
+	var sumHeap, maxHeap, sumHeapSys float64
 	for i, t := range targets {
 		sumInflight += t.inflight
 		sumPods += int64(t.maxPods)
@@ -106,6 +108,18 @@ func (rt *Router) collectCluster() clusterView {
 				stageSecs = m
 			}
 		}
+		if h, ok := snaps[i].Histograms["dist.worker.request_mem_bytes"]; ok {
+			if m, err := reqMem.Merge(h); err == nil {
+				reqMem = m
+			}
+		}
+		// Fleet memory rollup from each worker's runtime sampler gauges.
+		heap := snaps[i].Gauges["runtime.heap_alloc_bytes"]
+		sumHeap += heap
+		if heap > maxHeap {
+			maxHeap = heap
+		}
+		sumHeapSys += snaps[i].Gauges["runtime.heap_sys_bytes"]
 		// In-flight dispatches are counted on the router side the
 		// moment the reply lands, but on the worker side when the eval
 		// *starts* — so mid-load the worker side may run ahead, never
@@ -130,6 +144,14 @@ func (rt *Router) collectCluster() clusterView {
 	roll.Gauge("cluster.halo_wait_p99_seconds").Set(haloWait.Quantile(0.99))
 	roll.Gauge("cluster.stage_p50_seconds").Set(stageSecs.Quantile(0.5))
 	roll.Gauge("cluster.stage_p99_seconds").Set(stageSecs.Quantile(0.99))
+	// Fleet-wide memory: total and hottest-worker heap (from each
+	// worker's runtime sampler) plus the merged per-request transfer
+	// footprint distribution.
+	roll.Gauge("cluster.mem.heap_alloc_bytes_total").Set(sumHeap)
+	roll.Gauge("cluster.mem.heap_alloc_bytes_max_worker").Set(maxHeap)
+	roll.Gauge("cluster.mem.heap_sys_bytes_total").Set(sumHeapSys)
+	roll.Gauge("cluster.mem.request_bytes_p50").Set(reqMem.Quantile(0.5))
+	roll.Gauge("cluster.mem.request_bytes_p99").Set(reqMem.Quantile(0.99))
 	fwd := rt.met.Histogram("dist.shard_forward_seconds", trace.LatencyBuckets)
 	roll.Gauge("cluster.shard_forward_p50_seconds").Set(fwd.Quantile(0.5))
 	roll.Gauge("cluster.shard_forward_p99_seconds").Set(fwd.Quantile(0.99))

@@ -18,6 +18,7 @@ import (
 	"splitcnn/internal/buildinfo"
 	"splitcnn/internal/dist"
 	"splitcnn/internal/graph"
+	"splitcnn/internal/memobs"
 	"splitcnn/internal/serve"
 	"splitcnn/internal/snapshot"
 	"splitcnn/internal/tensor"
@@ -71,6 +72,15 @@ type RouterOptions struct {
 	// ClockProbes is how many Shard.Clock round trips each skew refresh
 	// uses (default 3; the min-RTT sample wins).
 	ClockProbes int
+	// RuntimeMetricsInterval, when positive, runs a background sampler
+	// feeding runtime.* gauges (heap, GC, goroutines) into the registry.
+	RuntimeMetricsInterval time.Duration
+	// NoProfiler disables the continuous profiler behind /profilez.
+	NoProfiler bool
+	// ProfileWindow/ProfileEvery override the profiler's capture window
+	// and duty-cycle period (defaults 1s / 15s).
+	ProfileWindow time.Duration
+	ProfileEvery  time.Duration
 }
 
 // workerState is the router's view of one replica.
@@ -143,6 +153,9 @@ type Router struct {
 	listener net.Listener
 	stop     chan struct{}
 	draining atomic.Bool
+
+	sampler *trace.RuntimeSampler
+	prof    *memobs.Profiler
 }
 
 // tailExec owns one executor for the graph remainder. All tail
@@ -244,6 +257,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	mux.HandleFunc("/metricsz", rt.handleMetricsz)
 	mux.HandleFunc("/tracez", rt.handleTracez)
 	mux.HandleFunc("/clusterz", rt.handleClusterz)
+	mux.HandleFunc("/profilez", rt.handleProfilez)
 	rt.http = &http.Server{Handler: mux}
 	return rt, nil
 }
@@ -269,6 +283,14 @@ func (rt *Router) Start(addr string) (net.Addr, error) {
 	}
 	rt.listener = ln
 	rt.started = time.Now()
+	if iv := rt.opts.RuntimeMetricsInterval; iv > 0 {
+		rt.sampler = trace.StartRuntimeSampler(rt.met, iv)
+	}
+	if !rt.opts.NoProfiler {
+		rt.prof = memobs.StartProfiler(memobs.ProfilerOptions{
+			Window: rt.opts.ProfileWindow, Every: rt.opts.ProfileEvery, Metrics: rt.met,
+		})
+	}
 	go rt.http.Serve(ln)
 	rt.log.Info("dist.router.start", "addr", ln.Addr().String(),
 		"workers", rt.opts.Workers, "max_shards", rt.opts.MaxShards,
@@ -281,6 +303,8 @@ func (rt *Router) Start(addr string) (net.Addr, error) {
 func (rt *Router) Shutdown(ctx context.Context) error {
 	rt.draining.Store(true)
 	close(rt.stop)
+	rt.sampler.Stop()
+	rt.prof.Stop()
 	err := rt.http.Shutdown(ctx)
 	rt.pool.Close()
 	rt.log.Info("dist.router.stop", "requests", rt.met.Counter("dist.requests").Value())
@@ -873,6 +897,15 @@ func (rt *Router) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			m.Gauge("trace.dropped_spans").Set(float64(rt.tracer.DroppedSpans()))
 		}
 	})(w, r)
+}
+
+func (rt *Router) handleProfilez(w http.ResponseWriter, r *http.Request) {
+	if rt.prof == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			"continuous profiling disabled (NoProfiler set)"})
+		return
+	}
+	memobs.Handler(rt.prof, nil)(w, r)
 }
 
 func (rt *Router) handleTracez(w http.ResponseWriter, _ *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"net/rpc"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 
 	"splitcnn/internal/buildinfo"
 	"splitcnn/internal/dist"
+	"splitcnn/internal/memobs"
 	"splitcnn/internal/serve"
 	"splitcnn/internal/snapshot"
 	"splitcnn/internal/tensor"
@@ -45,6 +47,18 @@ type WorkerConfig struct {
 	// StageDelay is a testing aid: every stage evaluation sleeps this
 	// long, making capacity and deadline windows deterministic.
 	StageDelay time.Duration
+	// RuntimeMetricsInterval tunes the runtime.* gauge sampler feeding
+	// per-worker heap/GC series into the registry the router federates
+	// on /clusterz. Zero selects the 10s default; negative disables.
+	RuntimeMetricsInterval time.Duration
+	// DebugAddr, when set (e.g. "127.0.0.1:0"), serves an HTTP debug
+	// surface — /healthz, /metricsz, /profilez — next to the RPC
+	// listener, and starts the continuous profiler behind /profilez.
+	DebugAddr string
+	// ProfileWindow/ProfileEvery override the profiler's capture window
+	// and duty-cycle period (defaults 1s / 15s; used with DebugAddr).
+	ProfileWindow time.Duration
+	ProfileEvery  time.Duration
 }
 
 // Worker is one shard-evaluation process: it materializes the model,
@@ -76,6 +90,11 @@ type Worker struct {
 	ln   net.Listener
 	srv  *rpc.Server
 	stop chan struct{}
+
+	sampler *trace.RuntimeSampler
+	prof    *memobs.Profiler
+	dbgLn   net.Listener
+	dbgSrv  *http.Server
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -143,11 +162,48 @@ func StartWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 		return nil, err
 	}
 	w.ln = ln
+	// Per-worker runtime.* gauges: Shard.Metrics ships the registry
+	// snapshot to the router, so the sampler's heap/GC series federate
+	// on /clusterz without any extra wiring.
+	if iv := cfg.RuntimeMetricsInterval; iv >= 0 {
+		if iv == 0 {
+			iv = 10 * time.Second
+		}
+		w.sampler = trace.StartRuntimeSampler(met, iv)
+	}
+	if cfg.DebugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.DebugAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("distserve: worker debug listener: %w", err)
+		}
+		w.dbgLn = dln
+		w.prof = memobs.StartProfiler(memobs.ProfilerOptions{
+			Window: cfg.ProfileWindow, Every: cfg.ProfileEvery, Metrics: met,
+		})
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(hw http.ResponseWriter, _ *http.Request) {
+			hw.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(hw, `{"status":"ok","addr":%q}`, w.ln.Addr().String())
+		})
+		mux.HandleFunc("/metricsz", trace.MetricsHandler(met, nil))
+		mux.HandleFunc("/profilez", memobs.Handler(w.prof, nil))
+		w.dbgSrv = &http.Server{Handler: mux}
+		go w.dbgSrv.Serve(dln) //nolint:errcheck
+	}
 	go w.acceptLoop()
 	go w.janitor()
 	w.log.Info("dist.worker.start", "addr", ln.Addr().String(),
 		"stages", len(plan.Stages), "max_pods", maxPods)
 	return w, nil
+}
+
+// DebugAddr returns the bound debug-HTTP address ("" when disabled).
+func (w *Worker) DebugAddr() string {
+	if w.dbgLn == nil {
+		return ""
+	}
+	return w.dbgLn.Addr().String()
 }
 
 // Addr returns the bound listen address.
@@ -175,6 +231,11 @@ func (w *Worker) Close() error {
 	default:
 	}
 	close(w.stop)
+	w.sampler.Stop()
+	w.prof.Stop()
+	if w.dbgLn != nil {
+		w.dbgLn.Close()
+	}
 	err := w.ln.Close()
 	w.mu.Lock()
 	for c := range w.conns {
@@ -398,6 +459,11 @@ func (w *Worker) evalShard(args *EvalArgs, reply *EvalReply) error {
 		w.bank.finish(args.ReqID, args.Shard)
 	}
 	w.met.Histogram("dist.worker.eval_seconds", trace.LatencyBuckets).Observe(time.Since(start).Seconds())
+	// Per-request memory attribution: the bytes this request actually
+	// buffered on the worker — input band in, output band back. Halo
+	// traffic is accounted separately (dist.worker.halo_* counters).
+	w.met.Histogram("dist.worker.request_mem_bytes", trace.ByteBuckets).
+		Observe(float64(int64(len(args.Rows)+len(reply.Data)) * 4))
 	return nil
 }
 

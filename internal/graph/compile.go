@@ -182,7 +182,37 @@ type step struct {
 	in   []*tensor.Tensor
 	out  *tensor.Tensor
 	post []epilogue
+	// slabRef is the deduplicated slab bytes this step's kernel call
+	// references: its output window plus every distinct slab storage
+	// among its inputs. Concurrently-live storages occupy disjoint
+	// windows (first-fit invariant), so the sum never double counts.
+	slabRef int64
+	// extent is the end of the step's output window (offset+bytes) —
+	// the written high-water contribution of this step.
+	extent int64
 }
+
+// StepEvent describes one executed step of a compiled program, fired by
+// the Hook after the step's kernel and its fused epilogues complete.
+// SlabRefBytes/SlabWrittenBytes are runtime observations of the bound
+// slab windows; Scratch is a live snapshot of the scratch arena.
+type StepEvent struct {
+	Step  int
+	Name  string
+	Kind  string
+	Fused int // in-place epilogues run as part of this step
+	// SlabRefBytes is the slab footprint the step's kernel actually
+	// touched (output window + distinct slab-resident inputs, deduped).
+	SlabRefBytes int64
+	// SlabWrittenBytes is the high-water extent of slab windows written
+	// so far in this pass (max offset+bytes over executed steps).
+	SlabWrittenBytes int64
+	// Scratch snapshots the program's scratch arena after the step.
+	Scratch tensor.ArenaStats
+}
+
+// StepHook receives one StepEvent per executed compiled step.
+type StepHook func(StepEvent)
 
 // CompiledProgram is a graph lowered to a fixed step list over one
 // pre-sized slab. It is NOT safe for concurrent use: the slab windows
@@ -199,6 +229,11 @@ type CompiledProgram struct {
 	scratch  *tensor.Arena
 	plan     []PlanEntry
 	stats    CompileStats
+
+	// Hook, when non-nil, receives a StepEvent after every executed
+	// step. Installing a hook costs one arena-stats snapshot per step;
+	// leaving it nil keeps Forward allocation-free.
+	Hook StepHook
 }
 
 // valKind classifies where a node's value lives at run time.
@@ -424,6 +459,18 @@ func Compile(g *Graph, store *ParamStore, opts CompileOptions) (*CompiledProgram
 				st.in[slot] = views[src.ID]
 			}
 		}
+		// Slab footprint of this step's kernel call: output window plus
+		// every distinct slab storage among the inputs.
+		outSym := storages[vals[n.ID].storage]
+		st.slabRef = int64(n.Shape.Elems()) * 4
+		st.extent = outSym.offset + st.slabRef
+		seenStorage := map[int]bool{vals[n.ID].storage: true}
+		for _, src := range n.Inputs {
+			if v := vals[src.ID]; v.kind == vSlab && !seenStorage[v.storage] {
+				seenStorage[v.storage] = true
+				st.slabRef += int64(storages[v.storage].elems) * 4
+			}
+		}
 		stepIdx[n.ID] = si
 		for _, fn := range sym.post {
 			ep := epilogue{node: fn, op: fn.Op.(InplaceOp), x: views[fn.ID], in: make([]*tensor.Tensor, len(fn.Inputs))}
@@ -527,29 +574,24 @@ func (p *CompiledProgram) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 		}
 		p.steps[b.step].in[b.slot] = t
 	}
+	var extent int64
 	for i := range p.steps {
 		st := &p.steps[i]
-		if st.into != nil {
-			st.into.ForwardInto(p.scratch, st.out, st.in)
+		if opLabelsOn() {
+			labelOp(st.node.Name, func() { p.runStep(st) })
 		} else {
-			// Fallback for ops without ForwardInto: run the op's own
-			// forward into transient storage and copy into the planned
-			// window. Correct for any op, but not allocation-free.
-			var out *tensor.Tensor
-			var stash any
-			if st.fwdA != nil {
-				out, stash = st.fwdA.ForwardArena(p.scratch, st.in)
-			} else {
-				out, stash = st.node.Op.Forward(st.in)
-			}
-			st.out.CopyFrom(out)
-			p.scratch.Put(out)
-			if t, ok := stash.(*tensor.Tensor); ok {
-				p.scratch.Put(t)
-			}
+			p.runStep(st)
 		}
-		for _, ep := range st.post {
-			ep.op.ForwardInplace(ep.x, ep.in)
+		if p.Hook != nil {
+			if st.extent > extent {
+				extent = st.extent
+			}
+			p.Hook(StepEvent{
+				Step: i, Name: st.node.Name, Kind: st.node.Op.Kind(),
+				Fused:        len(st.post),
+				SlabRefBytes: st.slabRef, SlabWrittenBytes: extent,
+				Scratch: p.scratch.Stats(),
+			})
 		}
 	}
 	outs := p.outsBuf
@@ -562,6 +604,32 @@ func (p *CompiledProgram) Forward(feeds Feeds) ([]*tensor.Tensor, error) {
 		outs[b.idx] = t
 	}
 	return outs, nil
+}
+
+// runStep executes one step: kernel call plus fused epilogues.
+func (p *CompiledProgram) runStep(st *step) {
+	if st.into != nil {
+		st.into.ForwardInto(p.scratch, st.out, st.in)
+	} else {
+		// Fallback for ops without ForwardInto: run the op's own
+		// forward into transient storage and copy into the planned
+		// window. Correct for any op, but not allocation-free.
+		var out *tensor.Tensor
+		var stash any
+		if st.fwdA != nil {
+			out, stash = st.fwdA.ForwardArena(p.scratch, st.in)
+		} else {
+			out, stash = st.node.Op.Forward(st.in)
+		}
+		st.out.CopyFrom(out)
+		p.scratch.Put(out)
+		if t, ok := stash.(*tensor.Tensor); ok {
+			p.scratch.Put(t)
+		}
+	}
+	for _, ep := range st.post {
+		ep.op.ForwardInplace(ep.x, ep.in)
+	}
 }
 
 // ExecuteCompiled runs one compiled forward pass — the documented entry

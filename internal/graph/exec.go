@@ -291,10 +291,10 @@ func (e *Executor) forward(feeds Feeds, over []*tensor.Tensor, need []bool) ([]*
 			opStart := e.hookStart()
 			var out *tensor.Tensor
 			var stash any
-			if fa := e.fwdA[n.ID]; fa != nil {
-				out, stash = fa.ForwardArena(e.arena, in)
+			if opLabelsOn() {
+				labelOp(n.Name, func() { out, stash = e.runOp(n, in) })
 			} else {
-				out, stash = n.Op.Forward(in)
+				out, stash = e.runOp(n, in)
 			}
 			if e.Hook != nil {
 				e.Hook(OpEvent{
@@ -336,6 +336,14 @@ func (e *Executor) forward(feeds Feeds, over []*tensor.Tensor, need []bool) ([]*
 		}
 	}
 	return outs, nil
+}
+
+// runOp invokes node n's forward kernel (arena-aware when available).
+func (e *Executor) runOp(n *Node, in []*tensor.Tensor) (*tensor.Tensor, any) {
+	if fa := e.fwdA[n.ID]; fa != nil {
+		return fa.ForwardArena(e.arena, in)
+	}
+	return n.Op.Forward(in)
 }
 
 // keepForBackward reports whether node n's forward value is read by any

@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// Per-op pprof labeling: when enabled, the executor and the compiled
+// program wrap every kernel invocation in a goroutine label set
+// {"op": <node name>}, so CPU profile samples taken during the window
+// can be attributed to individual graph ops exactly, not statistically.
+// The toggle is process-global because CPU profiling itself is — only
+// one profile window runs at a time (memobs serializes them), and the
+// label wrap costs a map allocation per op, so it stays off outside
+// capture windows to keep the hot path allocation-free.
+
+var opLabels atomic.Bool
+
+// EnableOpLabels turns per-op pprof labeling on or off. The continuous
+// profiler flips it on for the duration of each CPU capture window.
+func EnableOpLabels(on bool) { opLabels.Store(on) }
+
+// opLabelsOn reports whether kernel invocations should be labeled.
+func opLabelsOn() bool { return opLabels.Load() }
+
+// labelOp runs f under the pprof label {"op": name}.
+func labelOp(name string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("op", name), func(context.Context) { f() })
+}

@@ -1,0 +1,97 @@
+package memobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"runtime/pprof"
+)
+
+// Handler serves the /profilez page: the latest profile window's
+// per-op and per-function attribution tables (HTML by default,
+// ?format=json for machines), raw pprof downloads (?download=cpu for
+// the captured window, ?download=heap for a live heap profile), and —
+// when mem is non-nil — the measured memory timelines of the process's
+// collectors.
+func Handler(p *Profiler, mem func() []*MemTimeline) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("download") {
+		case "cpu":
+			rep := p.Report()
+			if rep == nil || len(rep.CPUProfile) == 0 {
+				http.Error(w, "no CPU profile window captured yet", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="cpu.pprof"`)
+			w.Write(rep.CPUProfile) //nolint:errcheck
+			return
+		case "heap":
+			hp := pprof.Lookup("heap")
+			if hp == nil {
+				http.Error(w, "heap profile unavailable", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="heap.pprof"`)
+			hp.WriteTo(w, 0) //nolint:errcheck
+			return
+		}
+
+		var timelines []*MemTimeline
+		if mem != nil {
+			timelines = mem()
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct { //nolint:errcheck
+				Report    *Report        `json:"report"`
+				Timelines []*MemTimeline `json:"timelines,omitempty"`
+			}{p.Report(), timelines})
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeHTML(w, p.Report(), timelines)
+	}
+}
+
+func writeHTML(w http.ResponseWriter, rep *Report, timelines []*MemTimeline) {
+	fmt.Fprint(w, `<!doctype html><meta charset="utf-8"><title>profilez</title><style>
+body{font:14px/1.5 system-ui,sans-serif;margin:2rem;max-width:72rem}
+table{border-collapse:collapse;margin:1rem 0}
+th,td{border:1px solid #ccc;padding:.25rem .6rem;text-align:right}
+th:first-child,td:first-child{text-align:left}
+caption{font-weight:600;text-align:left;padding:.25rem 0}
+.dim{color:#777}</style><h1>profilez</h1>`)
+	if rep == nil {
+		fmt.Fprint(w, `<p class=dim>No profile window captured yet — try again shortly.</p>`)
+	} else {
+		fmt.Fprintf(w, `<p>Window %.2fs · sampled CPU %.3fs · <a href="?download=cpu">cpu.pprof</a> · <a href="?download=heap">heap.pprof</a> · <a href="?format=json">json</a></p>`,
+			rep.WindowSeconds, rep.CPUSeconds)
+		fmt.Fprint(w, `<table><caption>Per-op attribution (CPU from labeled samples; alloc joined via dominant-op leaf functions)</caption><tr><th>op</th><th>cpu s</th><th>share</th><th>alloc bytes</th><th>in-use bytes</th></tr>`)
+		for _, o := range rep.Ops {
+			fmt.Fprintf(w, `<tr><td>%s</td><td>%.4f</td><td>%.1f%%</td><td>%d</td><td>%d</td></tr>`,
+				html.EscapeString(o.Op), o.CPUSeconds, 100*o.Share, o.AllocBytes, o.InUseBytes)
+		}
+		fmt.Fprint(w, `</table><table><caption>Flat per-function self cost</caption><tr><th>function</th><th>cpu s</th><th>alloc bytes</th><th>in-use bytes</th></tr>`)
+		for _, f := range rep.Funcs {
+			fmt.Fprintf(w, `<tr><td>%s</td><td>%.4f</td><td>%d</td><td>%d</td></tr>`,
+				html.EscapeString(f.Name), f.CPUSeconds, f.AllocBytes, f.InUseBytes)
+		}
+		fmt.Fprint(w, `</table>`)
+	}
+	for _, tl := range timelines {
+		if tl == nil {
+			continue
+		}
+		max, at := tl.DriftMax()
+		fmt.Fprintf(w, `<table><caption>Measured memory timeline (%s · %d passes · high water %d B · planned slab %d B · drift max %.3f at %s)</caption><tr><th>step</th><th>op</th><th>measured B</th><th>planned B</th><th>slab ref B</th><th>scratch B</th></tr>`,
+			html.EscapeString(tl.Source), tl.Passes, tl.MeasuredHighWater, tl.PlannedSlabBytes, max, html.EscapeString(at))
+		for _, s := range tl.Samples {
+			fmt.Fprintf(w, `<tr><td>%d</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>`,
+				s.Step, html.EscapeString(s.Name), s.MeasuredBytes, s.PlannedBytes, s.SlabRefBytes, s.ScratchBytes)
+		}
+		fmt.Fprint(w, `</table>`)
+	}
+}

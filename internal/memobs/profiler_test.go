@@ -1,0 +1,131 @@
+package memobs
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"splitcnn/internal/trace"
+)
+
+// burn spins hot enough for the 100 Hz CPU sampler to land samples.
+func burn(d time.Duration) float64 {
+	x := 1.0
+	for end := time.Now().Add(d); time.Now().Before(end); {
+		for i := 0; i < 1e5; i++ {
+			x = x*1.000000001 + 1e-9
+		}
+	}
+	return x
+}
+
+// TestParsePprofLabeled captures a real labeled CPU profile and checks
+// the hand-rolled protobuf parser recovers sample types, leaf
+// functions, and the op labels the per-op join depends on.
+func TestParsePprofLabeled(t *testing.T) {
+	cpuProfileMu.Lock()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		cpuProfileMu.Unlock()
+		t.Skipf("cpu profile unavailable: %v", err)
+	}
+	pprof.Do(context.Background(), pprof.Labels("op", "conv_test"), func(context.Context) {
+		burn(300 * time.Millisecond)
+	})
+	pprof.StopCPUProfile()
+	cpuProfileMu.Unlock()
+
+	prof, err := parsePprof(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parsePprof: %v", err)
+	}
+	if idx := prof.typeIndex("cpu"); idx < 0 {
+		t.Fatalf("no cpu sample type in %v", prof.sampleTypes)
+	}
+	if len(prof.samples) == 0 {
+		t.Fatal("no samples captured")
+	}
+	labeled := false
+	for _, s := range prof.samples {
+		if s.labels["op"] == "conv_test" {
+			labeled = true
+			if len(s.locs) == 0 {
+				t.Fatal("labeled sample has no locations")
+			}
+			if prof.leafFunc[s.locs[0]] == "" {
+				t.Fatal("labeled sample's leaf has no function name")
+			}
+		}
+	}
+	if !labeled {
+		t.Fatal("no sample carried the op label")
+	}
+
+	rep, err := buildReport(buf.Bytes(), nil, 300*time.Millisecond, 30)
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	if rep.CPUSeconds <= 0 {
+		t.Fatalf("CPUSeconds = %g, want > 0", rep.CPUSeconds)
+	}
+	found := false
+	for _, o := range rep.Ops {
+		if o.Op == "conv_test" && o.CPUSeconds > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("per-op attribution missing conv_test: %+v", rep.Ops)
+	}
+}
+
+// TestProfilerWindow runs the continuous profiler end to end with a
+// short window and checks a report lands with the window's metrics.
+func TestProfilerWindow(t *testing.T) {
+	met := trace.NewMetrics()
+	p := StartProfiler(ProfilerOptions{
+		Window:  200 * time.Millisecond,
+		Every:   250 * time.Millisecond,
+		Metrics: met,
+	})
+	defer p.Stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			burn(100 * time.Millisecond)
+		}
+	}()
+	var rep *Report
+	for wait := 0; wait < 200; wait++ {
+		if rep = p.Report(); rep != nil && rep.CPUSeconds > 0 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	p.Stop()
+	<-done
+	if rep == nil || rep.CPUSeconds <= 0 {
+		t.Fatalf("no profile window landed (report %+v)", rep)
+	}
+	if len(rep.Funcs) == 0 {
+		t.Fatal("report has no flat function costs")
+	}
+	if len(rep.CPUProfile) == 0 {
+		t.Fatal("report has no raw CPU profile for download")
+	}
+	if met.Counter("profilez.windows").Value() == 0 {
+		t.Fatal("profilez.windows counter never incremented")
+	}
+}
+
+// TestProfilerStopIdempotent: Stop must be safe on nil and repeated.
+func TestProfilerStopIdempotent(t *testing.T) {
+	var p *Profiler
+	p.Stop() // nil-safe
+	q := StartProfiler(ProfilerOptions{Window: 20 * time.Millisecond, Every: 30 * time.Millisecond})
+	q.Stop()
+	q.Stop()
+}

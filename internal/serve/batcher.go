@@ -65,6 +65,11 @@ type BatcherOptions struct {
 	// Tracer, when non-nil, receives batch-level spans linking the
 	// coalesced request IDs (the per-request spans ride on Request.Span).
 	Tracer *trace.WallTracer
+	// MemPeak, when non-nil, returns the peak measured activation bytes
+	// of the last completed forward pass — the per-batch footprint the
+	// dispatcher attributes to every request it coalesced (NewBatcher
+	// wires it to the instance's memory collector).
+	MemPeak func() int64
 }
 
 // Batcher coalesces concurrent single-image requests into executor
@@ -90,6 +95,9 @@ type Batcher struct {
 func NewBatcher(inst *Instance, opts BatcherOptions) *Batcher {
 	if opts.MaxBatch <= 0 || opts.MaxBatch > inst.MaxBatch {
 		opts.MaxBatch = inst.MaxBatch
+	}
+	if opts.MemPeak == nil && inst.Mem != nil {
+		opts.MemPeak = inst.Mem.LastPassPeak
 	}
 	return newBatcher(inst.Run, opts)
 }
@@ -243,6 +251,17 @@ func (b *Batcher) runBatch(batch []*Request, imgs [][]float32) {
 	if m := b.opts.Metrics; m != nil {
 		m.Counter("serve.batches").Add(1)
 		m.Histogram("serve.batch_size", batchSizeBuckets).Observe(float64(len(live)))
+		// Per-request memory attribution: the batch's measured peak
+		// activation bytes, whole and amortized over its occupants.
+		if err == nil && b.opts.MemPeak != nil {
+			if peak := b.opts.MemPeak(); peak > 0 {
+				per := float64(peak) / float64(len(live))
+				for range live {
+					m.Histogram("serve.request_peak_bytes", trace.ByteBuckets).Observe(float64(peak))
+					m.Histogram("serve.request_bytes_per_image", trace.ByteBuckets).Observe(per)
+				}
+			}
+		}
 	}
 	for i, r := range live {
 		resp := Response{BatchSize: len(live), QueueWait: now.Sub(r.Enqueued), Err: err}

@@ -23,6 +23,7 @@ import (
 
 	"splitcnn/internal/autotune"
 	"splitcnn/internal/graph"
+	"splitcnn/internal/memobs"
 	"splitcnn/internal/modelfile"
 	"splitcnn/internal/models"
 	"splitcnn/internal/nn"
@@ -85,6 +86,11 @@ type Instance struct {
 	labels *tensor.Tensor
 	feeds  graph.Feeds
 	out    [][]float32 // reused per-slot output buffers
+
+	// Mem collects the measured memory timeline: per-step slab/arena
+	// occupancy on the compiled path, per-op arena occupancy on the
+	// interpreted one.
+	Mem *memobs.Collector
 }
 
 // ImageLen returns the expected flattened image length (C*H*W).
@@ -216,6 +222,11 @@ func Load(spec Spec) (*Instance, error) {
 		out:      make([][]float32, maxBatch),
 	}
 	inst.feeds = graph.Feeds{"image": inst.batchX, "labels": inst.labels}
+	if prog != nil {
+		inst.Mem = memobs.AttachCompiled(prog)
+	} else {
+		inst.Mem = memobs.AttachExecutor(ex)
+	}
 	for i := range inst.out {
 		inst.out[i] = make([]float32, m.Classes)
 	}
@@ -257,6 +268,11 @@ func (in *Instance) Run(imgs [][]float32) ([][]float32, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if in.prog == nil && in.Mem != nil {
+		// The compiled collector closes its pass on the final step hook;
+		// the interpreted one has no step count and is flushed here.
+		in.Mem.FlushPass()
 	}
 	ld := outs[0].Data()
 	res := in.out[:len(imgs)]

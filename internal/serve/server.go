@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"splitcnn/internal/buildinfo"
+	"splitcnn/internal/memobs"
 	"splitcnn/internal/tensor"
 	"splitcnn/internal/trace"
 )
@@ -49,6 +50,13 @@ type Options struct {
 	// feeding runtime.* gauges (heap, GC, goroutines) and arena.*
 	// occupancy gauges into the registry on that interval.
 	RuntimeMetricsInterval time.Duration
+	// NoProfiler disables the continuous profiler (on by default: a
+	// windowed in-process pprof CPU+heap sampler feeding /profilez).
+	NoProfiler bool
+	// ProfileWindow/ProfileEvery override the profiler's capture window
+	// and duty-cycle period (defaults 1s / 15s).
+	ProfileWindow time.Duration
+	ProfileEvery  time.Duration
 }
 
 // Server is the HTTP inference front end: one dynamic batcher per
@@ -67,6 +75,7 @@ type Server struct {
 	http     *http.Server
 	listener net.Listener
 	sampler  *trace.RuntimeSampler
+	prof     *memobs.Profiler
 
 	mu       sync.Mutex
 	draining bool
@@ -109,6 +118,7 @@ func NewServer(reg *Registry, opts Options) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/profilez", s.handleProfilez)
 	if opts.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -143,6 +153,17 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if iv := s.opts.RuntimeMetricsInterval; iv > 0 {
 		s.sampler = trace.StartRuntimeSampler(s.met, iv, func(reg *trace.Metrics) {
 			s.arenaStats().Record("arena", reg)
+			for _, name := range s.reg.Names() {
+				inst, _ := s.reg.Lookup(name)
+				if inst.Mem != nil {
+					inst.Mem.Timeline().Record(reg)
+				}
+			}
+		})
+	}
+	if !s.opts.NoProfiler {
+		s.prof = memobs.StartProfiler(memobs.ProfilerOptions{
+			Window: s.opts.ProfileWindow, Every: s.opts.ProfileEvery, Metrics: s.met,
 		})
 	}
 	go s.http.Serve(ln)
@@ -166,6 +187,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		b.Shutdown()
 	}
 	s.sampler.Stop()
+	s.prof.Stop()
 	err := s.http.Shutdown(ctx)
 	s.log.Info("serve.stop", "err", err)
 	return err
@@ -372,6 +394,27 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		lat := m.Histogram("serve.latency_seconds", trace.LatencyBuckets)
 		m.Gauge("serve.latency_p50_seconds").Set(lat.Quantile(0.5))
 		m.Gauge("serve.latency_p99_seconds").Set(lat.Quantile(0.99))
+	})(w, r)
+}
+
+// handleProfilez serves the continuous profiler's latest window (per-op
+// CPU/alloc attribution, flat function tables, pprof downloads) plus
+// the measured memory timeline of every registered instance.
+func (s *Server) handleProfilez(w http.ResponseWriter, r *http.Request) {
+	if s.prof == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			"continuous profiling disabled (Options.NoProfiler)"})
+		return
+	}
+	memobs.Handler(s.prof, func() []*memobs.MemTimeline {
+		var out []*memobs.MemTimeline
+		for _, name := range s.reg.Names() {
+			inst, _ := s.reg.Lookup(name)
+			if inst.Mem != nil {
+				out = append(out, inst.Mem.Timeline())
+			}
+		}
+		return out
 	})(w, r)
 }
 

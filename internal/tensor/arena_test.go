@@ -3,6 +3,8 @@ package tensor
 import (
 	"math/rand"
 	"testing"
+
+	"splitcnn/internal/trace"
 )
 
 // TestArenaReuse checks that a returned tensor is handed back for the
@@ -161,5 +163,38 @@ func TestArenaKernelsSteadyState(t *testing.T) {
 	}
 	if st.InUseBytes != 0 {
 		t.Fatalf("leaked %d in-use bytes", st.InUseBytes)
+	}
+}
+
+// TestArenaStatsRecord pins the gauge family ArenaStats.Record
+// publishes — including arena.hit_rate, which the memory observability
+// plane's dashboards and /metricsz scrapers depend on.
+func TestArenaStatsRecord(t *testing.T) {
+	a := NewArena()
+	t1 := a.Get(100)
+	a.Put(t1)
+	t2 := a.Get(100) // pool hit
+	_ = t2
+	st := a.Stats()
+	if st.Gets != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 gets / 1 hit", st)
+	}
+	met := trace.NewMetrics()
+	st.Record("arena", met)
+	if got := met.Gauge("arena.hit_rate").Value(); got != 0.5 {
+		t.Fatalf("arena.hit_rate = %g, want 0.5", got)
+	}
+	if got := met.Gauge("arena.in_use_bytes").Value(); int64(got) != st.InUseBytes {
+		t.Fatalf("arena.in_use_bytes = %g, want %d", got, st.InUseBytes)
+	}
+	if got := met.Gauge("arena.high_water_bytes").Value(); int64(got) != st.HighWaterBytes {
+		t.Fatalf("arena.high_water_bytes = %g, want %d", got, st.HighWaterBytes)
+	}
+	if got := met.Gauge("arena.pooled_bytes").Value(); int64(got) != st.PooledBytes {
+		t.Fatalf("arena.pooled_bytes = %g, want %d", got, st.PooledBytes)
+	}
+	// HitRate must be well-defined on a fresh arena (no gets yet).
+	if hr := (ArenaStats{}).HitRate(); hr != 0 {
+		t.Fatalf("empty HitRate = %g, want 0", hr)
 	}
 }

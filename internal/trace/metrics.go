@@ -229,6 +229,13 @@ var LatencyBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// ByteBuckets are the bounds for memory-footprint histograms: powers of
+// four from 64 KiB to 4 GiB, spanning a tiny smoke model's activations
+// to a full-width VGG batch.
+var ByteBuckets = []float64{
+	1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30, 1 << 32,
+}
+
 // Histogram returns (creating if needed) the named histogram. bounds
 // are sorted upper bucket bounds; nil selects DefBuckets. Bounds are
 // fixed at creation — later calls ignore the argument.

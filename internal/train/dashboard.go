@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"splitcnn/internal/buildinfo"
+	"splitcnn/internal/memobs"
 	"splitcnn/internal/trace"
 )
 
@@ -20,6 +21,7 @@ import (
 type Dashboard struct {
 	ln      net.Listener
 	srv     *http.Server
+	prof    *memobs.Profiler
 	started time.Time
 }
 
@@ -58,6 +60,11 @@ func StartDashboard(addr string, met *trace.Metrics, enablePprof bool) (*Dashboa
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write([]byte(dashboardHTML))
 	})
+	// The trainer gets the same per-op continuous profiler as the
+	// serving surfaces: windowed CPU+heap capture joined against op
+	// spans, at /profilez.
+	d.prof = memobs.StartProfiler(memobs.ProfilerOptions{Metrics: met})
+	mux.HandleFunc("/profilez", memobs.Handler(d.prof, nil))
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -76,6 +83,7 @@ func (d *Dashboard) Addr() net.Addr { return d.ln.Addr() }
 // Close stops the dashboard, waiting up to a second for in-flight
 // scrapes.
 func (d *Dashboard) Close() error {
+	d.prof.Stop()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
 	return d.srv.Shutdown(ctx)
